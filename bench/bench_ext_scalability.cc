@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Extension bench: the section 6.4 scalability argument, quantified.
+ *
+ * 1. WDM scaling on the 64-site macrochip: as wavelengths per
+ *    waveguide improve (8 -> 16 -> 32), the photonic point-to-point
+ *    network's peak bandwidth grows with a *constant* waveguide
+ *    count — while an electronic full mesh needs a wire per bit of
+ *    every link.
+ * 2. Grid scaling (4x4 -> 8x8 -> 16x16 sites) at a constant 2-lambda
+ *    channel width, including the full-scale section 3 system.
+ */
+
+#include <cstdio>
+
+#include "net/analysis.hh"
+
+using namespace macrosim;
+
+namespace
+{
+
+void
+printRows(const std::vector<ScalingPoint> &rows)
+{
+    for (const auto &r : rows) {
+        std::printf("  %-24s %9.1f %10llu %10llu %12.2f %10.1f "
+                    "%9.1f%%\n",
+                    r.network.c_str(), r.peakTBs,
+                    static_cast<unsigned long long>(
+                        r.counts.waveguides),
+                    static_cast<unsigned long long>(
+                        r.counts.opticalSwitches),
+                    r.waveguidesPerTBs(), r.laserWatts,
+                    r.substrateFraction() * 100.0);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Section 6.4 extension: scalability of the "
+                "architectures\n\n");
+    std::printf("  %-24s %9s %10s %10s %12s %10s %10s\n", "network",
+                "TB/s", "waveguides", "switches", "wgs per TB/s",
+                "laser W", "area");
+
+    // --- WDM scaling, 64 sites --------------------------------------
+    for (std::uint32_t wdm : {8u, 16u, 32u}) {
+        MacrochipConfig cfg = simulatedConfig();
+        cfg.wavelengthsPerWaveguide = wdm;
+        cfg.txPerSite = 128 * wdm / 8;
+        cfg.rxPerSite = cfg.txPerSite;
+        std::printf("\n64 sites, %u wavelengths/waveguide:\n", wdm);
+        printRows(analyzeAllNetworks(cfg));
+        std::printf("  %-24s %9s %10llu wires (16-bit links)\n",
+                    "electronic full mesh", "-",
+                    static_cast<unsigned long long>(
+                        electronicPointToPointWires(cfg.siteCount(),
+                                                    16)));
+    }
+
+    // --- Grid scaling -------------------------------------------------
+    for (std::uint32_t dim : {4u, 8u, 16u}) {
+        MacrochipConfig cfg = simulatedConfig();
+        cfg.rows = dim;
+        cfg.cols = dim;
+        cfg.txPerSite = 2 * dim * dim; // 2 lambdas per destination
+        cfg.rxPerSite = cfg.txPerSite;
+        std::printf("\n%ux%u sites, %u Tx/site:\n", dim, dim,
+                    cfg.txPerSite);
+        printRows(analyzeAllNetworks(cfg));
+        std::printf("  %-24s %9s %10llu wires (16-bit links)\n",
+                    "electronic full mesh", "-",
+                    static_cast<unsigned long long>(
+                        electronicPointToPointWires(cfg.siteCount(),
+                                                    16)));
+    }
+
+    // --- The full-scale 2015 target ------------------------------------
+    std::printf("\nFull-scale section 3 system (64 cores/site, "
+                "1024 Tx/site, 16-way WDM):\n");
+    printRows(analyzeAllNetworks(fullScaleConfig()));
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Regenerates Figure 6: latency vs offered load for the uniform,
+ * transpose, nearest-neighbor and butterfly patterns across the five
+ * networks, using the open-loop 64-byte packet injector of
+ * section 6.1. Offered load is a percentage of 320 B/ns per site.
+ *
+ * Shape targets from the paper: point-to-point sustains ~95% of peak
+ * on uniform (5 GB/s = 1.56% on the one-to-one patterns); token ring
+ * ~40% uniform but <1% one-to-one; limited point-to-point ~47%
+ * uniform and ~25% nearest-neighbor; circuit-switched ~2.5%;
+ * two-phase ~7.5%.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.hh"
+
+#include "sim/logging.hh"
+
+using namespace macrosim;
+using namespace macrosim::bench;
+
+namespace
+{
+
+struct PatternSweep
+{
+    TrafficPattern pattern;
+    std::vector<double> loads; // fraction of per-site peak
+};
+
+const std::vector<PatternSweep> sweeps = {
+    {TrafficPattern::Uniform,
+     {0.01, 0.02, 0.05, 0.08, 0.12, 0.20, 0.30, 0.40, 0.50, 0.70,
+      0.90}},
+    {TrafficPattern::Transpose,
+     {0.0025, 0.005, 0.01, 0.014, 0.02, 0.03, 0.04, 0.06}},
+    {TrafficPattern::Neighbor,
+     {0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.25}},
+    {TrafficPattern::Butterfly,
+     {0.0025, 0.005, 0.01, 0.014, 0.02, 0.03, 0.04, 0.06}},
+};
+
+/** Latency past which a load point counts as saturated. */
+constexpr double saturatedNs = 400.0;
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("Figure 6: Latency vs. Offered Load "
+                "(64 B packets, %% of 320 B/ns per site)\n\n");
+    std::printf("pattern,network,offered_pct,latency_ns,p99_ns,"
+                "delivered_pct\n");
+
+    for (const PatternSweep &sweep : sweeps) {
+        struct Summary
+        {
+            NetId id;
+            double maxSustainedPct = 0.0;
+        };
+        std::vector<Summary> summaries;
+
+        for (const NetId id : fig6Networks) {
+            Summary summary{id, 0.0};
+            bool saturated = false;
+            for (const double load : sweep.loads) {
+                if (saturated)
+                    break;
+                Simulator sim(17);
+                auto net = makeNetwork(id, sim, simulatedConfig());
+                InjectorConfig cfg;
+                cfg.pattern = sweep.pattern;
+                cfg.load = load;
+                cfg.warmup = 500 * tickNs;
+                cfg.window = 2500 * tickNs;
+                cfg.seed = 17;
+                const InjectorResult r = runOpenLoop(sim, *net, cfg);
+                std::printf("%s,%s,%.2f,%.1f,%.1f,%.2f\n",
+                            std::string(to_string(sweep.pattern))
+                                .c_str(),
+                            netName(id).c_str(), r.offeredLoadPct,
+                            r.meanLatencyNs, r.p99LatencyNs,
+                            r.deliveredPct);
+                std::fflush(stdout);
+                if (r.meanLatencyNs > saturatedNs) {
+                    saturated = true;
+                } else {
+                    summary.maxSustainedPct =
+                        std::max(summary.maxSustainedPct,
+                                 r.deliveredPct);
+                }
+            }
+            summaries.push_back(summary);
+        }
+
+        std::printf("\n# %s: max sustained bandwidth "
+                    "(%% of per-site peak)\n",
+                    std::string(to_string(sweep.pattern)).c_str());
+        for (const Summary &s : summaries) {
+            std::printf("#   %-24s %6.2f%%\n", netName(s.id).c_str(),
+                        s.maxSustainedPct);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

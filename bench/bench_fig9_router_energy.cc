@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Regenerates Figure 9: energy used by the electronic routers of the
+ * limited point-to-point network as a percentage of its total
+ * network energy, per workload.
+ *
+ * Shape targets from the paper: at most ~17% on the synthetic
+ * workloads and ~10.4% on the application kernels.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+#include "sim/logging.hh"
+
+using namespace macrosim;
+using namespace macrosim::bench;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::uint64_t instr = instructionsArg(argc, argv, 1200);
+
+    std::printf("Figure 9: Router Energy in the Limited "
+                "Point-to-Point Network (%% of total system "
+                "energy)\n\n");
+    std::printf("%-14s %12s %14s %14s %14s\n", "workload",
+                "router_pct", "router_mJ", "network_mJ", "cpu_mJ");
+
+    for (WorkloadSpec spec : figureWorkloads(instr)) {
+        Simulator sim(1);
+        LimitedPointToPointNetwork net(sim, simulatedConfig());
+        TraceCpuSystem cpu(sim, net, spec, 2);
+        const TraceCpuResult r = cpu.run();
+        std::printf("%-14s %11.2f%% %14.4f %14.4f %14.4f\n",
+                    spec.name.c_str(), r.routerEnergyPct(),
+                    r.routerJoules * 1e3, r.totalJoules * 1e3,
+                    r.cpuJoules * 1e3);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation core: event
+ * queue throughput, RNG speed, channel reservation, and a full
+ * point-to-point network packet path. These track the simulator's
+ * own performance (events/second), not the modelled system.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "net/pt2pt.hh"
+#include "sim/event.hh"
+#include "sim/random.hh"
+#include "workloads/patterns.hh"
+
+using namespace macrosim;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            q.schedule(static_cast<Tick>(i * 7 % 997),
+                       [&sink] { ++sink; });
+        q.runUntil();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(42);
+    std::uint64_t acc = 0;
+    for (auto _ : state)
+        acc += rng.next();
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_ChannelTransmit(benchmark::State &state)
+{
+    OpticalChannel ch(2, 250);
+    Tick t = 0;
+    for (auto _ : state) {
+        t = ch.transmit(t, 64);
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelTransmit);
+
+void
+BM_PointToPointPacket(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        Simulator sim(1);
+        PointToPointNetwork net(sim, simulatedConfig());
+        net.setDefaultHandler([](const Message &) {});
+        Rng rng(7);
+        state.ResumeTiming();
+        for (int i = 0; i < 512; ++i) {
+            Message m;
+            m.src = static_cast<SiteId>(rng.below(64));
+            m.dst = static_cast<SiteId>(rng.below(64));
+            net.inject(m);
+        }
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_PointToPointPacket);
+
+void
+BM_DestinationGenerator(benchmark::State &state)
+{
+    MacrochipGeometry geom(8, 8);
+    DestinationGenerator gen(
+        static_cast<TrafficPattern>(state.range(0)), geom);
+    Rng rng(3);
+    SiteId acc = 0;
+    for (auto _ : state)
+        acc ^= gen.next(acc % 64, rng);
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_DestinationGenerator)->DenseRange(0, 4);
+
+} // namespace
+
+BENCHMARK_MAIN();

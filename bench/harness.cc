@@ -1,0 +1,98 @@
+#include "harness.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/logging.hh"
+
+namespace macrosim::bench
+{
+
+std::string
+netName(NetId id)
+{
+    switch (id) {
+      case NetId::TokenRing: return "Token Ring";
+      case NetId::CircuitSwitched: return "Circuit-Switched";
+      case NetId::PointToPoint: return "Point-to-Point";
+      case NetId::LimitedPtToPt: return "Limited Point-to-Point";
+      case NetId::TwoPhase: return "2-Phase Arb.";
+      case NetId::TwoPhaseAlt: return "2-Phase Arb. ALT";
+    }
+    return "?";
+}
+
+std::unique_ptr<Network>
+makeNetwork(NetId id, Simulator &sim, const MacrochipConfig &cfg)
+{
+    switch (id) {
+      case NetId::TokenRing:
+        return std::make_unique<TokenRingCrossbar>(sim, cfg);
+      case NetId::CircuitSwitched:
+        return std::make_unique<CircuitSwitchedTorus>(sim, cfg);
+      case NetId::PointToPoint:
+        return std::make_unique<PointToPointNetwork>(sim, cfg);
+      case NetId::LimitedPtToPt:
+        return std::make_unique<LimitedPointToPointNetwork>(sim, cfg);
+      case NetId::TwoPhase:
+        return std::make_unique<TwoPhaseArbitratedNetwork>(sim, cfg);
+      case NetId::TwoPhaseAlt:
+        return std::make_unique<TwoPhaseArbitratedNetwork>(sim, cfg,
+                                                           true);
+    }
+    panic("makeNetwork: bad id");
+}
+
+std::vector<WorkloadSpec>
+figureWorkloads(std::uint64_t instr_per_core)
+{
+    std::vector<WorkloadSpec> all = applicationWorkloads();
+    const auto synth = syntheticWorkloads();
+    all.insert(all.end(), synth.begin(), synth.end());
+    for (auto &spec : all)
+        spec.instructionsPerCore = instr_per_core;
+    return all;
+}
+
+std::vector<TraceCpuResult>
+runWorkloadMatrix(std::uint64_t instr_per_core, std::uint64_t seed)
+{
+    std::vector<TraceCpuResult> results;
+    for (const WorkloadSpec &spec : figureWorkloads(instr_per_core)) {
+        for (const NetId id : allNetworks) {
+            Simulator sim(seed);
+            auto net = makeNetwork(id, sim, simulatedConfig());
+            TraceCpuSystem cpu(sim, *net, spec, seed + 1);
+            results.push_back(cpu.run());
+            std::cerr << "  [matrix] " << spec.name << " on "
+                      << netName(id) << ": runtime "
+                      << results.back().runtimeNs() << " ns\n";
+        }
+    }
+    return results;
+}
+
+const TraceCpuResult &
+find(const std::vector<TraceCpuResult> &matrix,
+     const std::string &workload, NetId net)
+{
+    const std::string wanted = netName(net);
+    for (const auto &r : matrix) {
+        if (r.workload == workload && r.network == wanted)
+            return r;
+    }
+    panic("bench::find: no result for ", workload, " on ", wanted);
+}
+
+std::uint64_t
+instructionsArg(int argc, char **argv, std::uint64_t fallback)
+{
+    if (argc > 1) {
+        const long v = std::atol(argv[1]);
+        if (v > 0)
+            return static_cast<std::uint64_t>(v);
+    }
+    return fallback;
+}
+
+} // namespace macrosim::bench

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared support for the per-table / per-figure bench binaries:
+ * network factories, the figure 7-10 workload matrix, and table
+ * printing helpers.
+ */
+
+#ifndef MACROSIM_BENCH_HARNESS_HH
+#define MACROSIM_BENCH_HARNESS_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/circuit_switched.hh"
+#include "net/limited_pt2pt.hh"
+#include "net/pt2pt.hh"
+#include "net/token_ring.hh"
+#include "net/two_phase.hh"
+#include "workloads/packet_injector.hh"
+#include "workloads/trace_cpu.hh"
+
+namespace macrosim::bench
+{
+
+enum class NetId
+{
+    TokenRing,
+    CircuitSwitched,
+    PointToPoint,
+    LimitedPtToPt,
+    TwoPhase,
+    TwoPhaseAlt,
+};
+
+/** Figure order: the paper's legend ordering. */
+constexpr std::array<NetId, 6> allNetworks = {
+    NetId::TokenRing,    NetId::CircuitSwitched, NetId::PointToPoint,
+    NetId::LimitedPtToPt, NetId::TwoPhase,       NetId::TwoPhaseAlt,
+};
+
+/** The five networks of figure 6 (no ALT variant there). */
+constexpr std::array<NetId, 5> fig6Networks = {
+    NetId::TokenRing, NetId::CircuitSwitched, NetId::PointToPoint,
+    NetId::LimitedPtToPt, NetId::TwoPhase,
+};
+
+std::string netName(NetId id);
+
+std::unique_ptr<Network> makeNetwork(NetId id, Simulator &sim,
+                                     const MacrochipConfig &cfg);
+
+/** Figure 7 x-axis order: six applications then five synthetics. */
+std::vector<WorkloadSpec> figureWorkloads(std::uint64_t instr_per_core);
+
+/**
+ * Run every (workload x network) pair of figures 7-10 and collect
+ * the results. Emits one progress line per run to stderr.
+ */
+std::vector<TraceCpuResult>
+runWorkloadMatrix(std::uint64_t instr_per_core, std::uint64_t seed = 1);
+
+/** Locate a result in the matrix. */
+const TraceCpuResult &find(const std::vector<TraceCpuResult> &matrix,
+                           const std::string &workload,
+                           NetId net);
+
+/** Instructions per core: argv[1] if given, else @p fallback. */
+std::uint64_t instructionsArg(int argc, char **argv,
+                              std::uint64_t fallback);
+
+} // namespace macrosim::bench
+
+#endif // MACROSIM_BENCH_HARNESS_HH

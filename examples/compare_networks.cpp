@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The paper's headline experiment in miniature: run one
+ * cache-coherent kernel on all six network configurations and
+ * compare runtime, coherence-operation latency, power and EDP.
+ *
+ *   $ ./compare_networks [workload] [instructions-per-core]
+ *
+ * Workloads: radix barnes blackscholes densities forces swaptions
+ *            all-to-all transpose transpose-MS neighbor butterfly
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "net/circuit_switched.hh"
+#include "net/limited_pt2pt.hh"
+#include "net/pt2pt.hh"
+#include "net/token_ring.hh"
+#include "net/two_phase.hh"
+#include "sim/logging.hh"
+#include "workloads/trace_cpu.hh"
+
+using namespace macrosim;
+
+namespace
+{
+
+std::unique_ptr<Network>
+buildNetwork(int which, Simulator &sim, const MacrochipConfig &cfg)
+{
+    switch (which) {
+      case 0: return std::make_unique<TokenRingCrossbar>(sim, cfg);
+      case 1: return std::make_unique<CircuitSwitchedTorus>(sim, cfg);
+      case 2: return std::make_unique<PointToPointNetwork>(sim, cfg);
+      case 3:
+        return std::make_unique<LimitedPointToPointNetwork>(sim, cfg);
+      case 4:
+        return std::make_unique<TwoPhaseArbitratedNetwork>(sim, cfg);
+      default:
+        return std::make_unique<TwoPhaseArbitratedNetwork>(sim, cfg,
+                                                           true);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::string workload = argc > 1 ? argv[1] : "swaptions";
+    const std::uint64_t instr =
+        argc > 2 ? static_cast<std::uint64_t>(std::atol(argv[2]))
+                 : 2000;
+
+    WorkloadSpec spec = workloadByName(workload);
+    spec.instructionsPerCore = instr;
+
+    std::printf("Workload: %s (%llu instructions/core, %u cores)\n\n",
+                spec.name.c_str(),
+                static_cast<unsigned long long>(instr),
+                simulatedConfig().coreCount());
+    std::printf("%-24s %12s %10s %12s %12s %12s\n", "network",
+                "runtime(ns)", "speedup", "op-lat(ns)", "static(W)",
+                "EDP vs p2p");
+
+    std::vector<TraceCpuResult> results;
+    std::vector<double> static_watts;
+    for (int i = 0; i < 6; ++i) {
+        Simulator sim(7);
+        auto net = buildNetwork(i, sim, simulatedConfig());
+        TraceCpuSystem cpu(sim, *net, spec, 11);
+        results.push_back(cpu.run());
+        static_watts.push_back(net->staticWatts());
+    }
+
+    // Normalize as the paper does: speedup vs the slowest network,
+    // EDP vs the point-to-point network (index 2).
+    double slowest = 0.0;
+    for (const auto &r : results)
+        slowest = std::max(slowest, static_cast<double>(r.runtime));
+    const double p2p_edp = results[2].edp;
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        std::printf("%-24s %12.0f %10.2f %12.1f %12.1f %12.1f\n",
+                    r.network.c_str(), r.runtimeNs(),
+                    slowest / static_cast<double>(r.runtime),
+                    r.opLatencyNs, static_watts[i], r.edp / p2p_edp);
+    }
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Macrochip system configuration.
+ *
+ * simulatedConfig() is the scaled-down system of section 4 / Table 4
+ * that every experiment in the paper runs (64 sites, 8 cores/site,
+ * 128 Tx + 128 Rx per site at 20 Gb/s each, 8 wavelengths per
+ * waveguide, 320 GB/s per site, 20 TB/s peak).
+ *
+ * fullScaleConfig() is the 2015-vision system of section 3 (64
+ * cores/site, 1024 Tx/Rx per site, 16 wavelengths per waveguide,
+ * 2.56 TB/s per site, 160 TB/s aggregate), used by scalability and
+ * power-projection examples.
+ */
+
+#ifndef MACROSIM_ARCH_CONFIG_HH
+#define MACROSIM_ARCH_CONFIG_HH
+
+#include <cstdint>
+
+#include "arch/geometry.hh"
+#include "photonics/components.hh"
+#include "sim/ticks.hh"
+
+namespace macrosim
+{
+
+struct MacrochipConfig
+{
+    std::uint32_t rows = 8;
+    std::uint32_t cols = 8;
+    std::uint32_t coresPerSite = 8;
+    std::uint32_t threadsPerCore = 1;
+
+    /** Shared L2 per site (Table 4: 256 KB). */
+    std::uint32_t l2CacheBytes = 256 * 1024;
+    std::uint32_t l2Associativity = 8;
+    std::uint32_t cacheLineBytes = 64;
+
+    /** Optical transmitters / receivers per site, 20 Gb/s each. */
+    std::uint32_t txPerSite = 128;
+    std::uint32_t rxPerSite = 128;
+    std::uint32_t wavelengthsPerWaveguide = 8;
+
+    /** Clock period in ticks (5 GHz -> 200 ps). */
+    Tick clockPeriod = 200;
+
+    /** Site pitch, cm (see MacrochipGeometry). */
+    double sitePitchCm = 2.5;
+
+    /** MSHRs (outstanding misses) per core. */
+    std::uint32_t mshrsPerCore = 8;
+
+    /** Per-core power including caches and memory controller
+     *  (section 3: 1 W/core, 64 W/site). */
+    double wattsPerCore = 1.0;
+
+    /** Directory/L2 lookup latency at the home site. */
+    Tick directoryLatency = 10 * tickNs;
+
+    /** Flat off-macrochip (fiber-attached) memory access latency. */
+    Tick memoryLatency = 50 * tickNs;
+
+    /** Independent fiber memory channels per site (section 3: edge
+     *  fiber connections carry off-macrochip memory traffic). */
+    std::uint32_t memoryPortsPerSite = 4;
+
+    /** Bandwidth of one fiber memory channel, bytes/ns (8 lambdas
+     *  at 20 Gb/s = 20 GB/s). */
+    double memoryPortBytesPerNs = 20.0;
+
+    std::uint32_t siteCount() const { return rows * cols; }
+    std::uint32_t coreCount() const { return siteCount() * coresPerSite; }
+
+    /** Per-site injection bandwidth in bytes/ns (Table 4: 320). */
+    double
+    siteBandwidthBytesPerNs() const
+    {
+        return static_cast<double>(txPerSite) * bytesPerNsPerWavelength;
+    }
+
+    /** Total peak network bandwidth in TB/s (Table 4: 20). */
+    double
+    peakBandwidthTBs() const
+    {
+        return siteBandwidthBytesPerNs()
+            * static_cast<double>(siteCount()) / 1000.0;
+    }
+
+    MacrochipGeometry
+    geometry() const
+    {
+        return MacrochipGeometry(rows, cols, sitePitchCm);
+    }
+
+    ClockDomain clock() const { return ClockDomain(clockPeriod); }
+};
+
+/** The Table 4 simulated system. */
+inline MacrochipConfig
+simulatedConfig()
+{
+    return MacrochipConfig{};
+}
+
+/** The full-scale 2015 target of section 3. */
+inline MacrochipConfig
+fullScaleConfig()
+{
+    MacrochipConfig c;
+    c.coresPerSite = 64;
+    c.txPerSite = 1024;
+    c.rxPerSite = 1024;
+    c.wavelengthsPerWaveguide = 16;
+    return c;
+}
+
+} // namespace macrosim
+
+#endif // MACROSIM_ARCH_CONFIG_HH

@@ -1,0 +1,20 @@
+#include "arch/directory.hh"
+
+namespace macrosim
+{
+
+std::vector<SiteId>
+SiteSet::members() const
+{
+    std::vector<SiteId> out;
+    out.reserve(count());
+    std::uint64_t b = bits_;
+    while (b != 0) {
+        const int idx = __builtin_ctzll(b);
+        out.push_back(static_cast<SiteId>(idx));
+        b &= b - 1;
+    }
+    return out;
+}
+
+} // namespace macrosim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Distributed full-map coherence directory.
+ *
+ * Each cache line has a home site determined by address interleaving.
+ * The home's directory slice tracks the line's global state, its owner
+ * site (for M/O/E lines) and a sharer bit-vector over the 64 sites.
+ * The coherence engine consults and updates this state to decide which
+ * network messages a transaction needs.
+ */
+
+#ifndef MACROSIM_ARCH_DIRECTORY_HH
+#define MACROSIM_ARCH_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/cache.hh"
+#include "arch/geometry.hh"
+#include "arch/protocol.hh"
+
+namespace macrosim
+{
+
+/** Compact set of sites (sharers), up to 64 sites. */
+class SiteSet
+{
+  public:
+    void add(SiteId s) { bits_ |= (std::uint64_t{1} << s); }
+    void remove(SiteId s) { bits_ &= ~(std::uint64_t{1} << s); }
+    bool contains(SiteId s) const
+    {
+        return (bits_ >> s) & 1;
+    }
+    void clear() { bits_ = 0; }
+    bool empty() const { return bits_ == 0; }
+    std::uint32_t
+    count() const
+    {
+        return static_cast<std::uint32_t>(__builtin_popcountll(bits_));
+    }
+    std::uint64_t raw() const { return bits_; }
+
+    /** Enumerate members in ascending site order. */
+    std::vector<SiteId> members() const;
+
+    bool operator==(const SiteSet &) const = default;
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+/** Directory-side state of one line. */
+enum class DirState : std::uint8_t
+{
+    Uncached,  ///< No on-macrochip copy; memory is the owner.
+    Shared,    ///< One or more read-only copies; memory up to date.
+    Owned,     ///< A dirty owner plus possible sharers.
+    Exclusive, ///< Exactly one site holds the line (E or M).
+};
+
+/** One line's directory entry. */
+struct DirEntry
+{
+    DirState state = DirState::Uncached;
+    SiteId owner = 0;     ///< Valid when state is Owned/Exclusive.
+    SiteSet sharers;      ///< Sites with read copies (excludes owner).
+};
+
+/**
+ * A single site's directory slice; the full directory is one slice
+ * per site, indexed by homeSite().
+ */
+class Directory
+{
+  public:
+    explicit Directory(std::uint32_t site_count)
+        : siteCount_(site_count)
+    {}
+
+    /** Home site of an address: line-interleaved across sites. */
+    SiteId
+    homeSite(Addr addr, std::uint32_t line_bytes) const
+    {
+        return static_cast<SiteId>((addr / line_bytes) % siteCount_);
+    }
+
+    /** Look up (or create Uncached) entry for a line address. */
+    DirEntry &entry(Addr line_addr) { return entries_[line_addr]; }
+
+    /** Read-only probe; returns Uncached default if absent. */
+    DirEntry
+    probe(Addr line_addr) const
+    {
+        if (auto it = entries_.find(line_addr); it != entries_.end())
+            return it->second;
+        return DirEntry{};
+    }
+
+    std::size_t trackedLines() const { return entries_.size(); }
+
+    /** Visit every tracked (line, entry) pair; order unspecified. */
+    template <typename Fn>
+    void
+    forEachEntry(Fn &&fn) const
+    {
+        for (const auto &[line, entry] : entries_)
+            fn(line, entry);
+    }
+
+  private:
+    std::uint32_t siteCount_;
+    std::unordered_map<Addr, DirEntry> entries_;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_ARCH_DIRECTORY_HH

@@ -1,0 +1,67 @@
+#include "arch/geometry.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+MacrochipGeometry::MacrochipGeometry(std::uint32_t rows,
+                                     std::uint32_t cols,
+                                     double site_pitch_cm)
+    : rows_(rows), cols_(cols), pitchCm_(site_pitch_cm)
+{
+    if (rows == 0 || cols == 0)
+        fatal("MacrochipGeometry: grid must be non-empty");
+    if (site_pitch_cm <= 0.0)
+        fatal("MacrochipGeometry: site pitch must be positive");
+}
+
+SiteCoord
+MacrochipGeometry::coordOf(SiteId id) const
+{
+    if (id >= siteCount())
+        panic("coordOf: site id ", id, " out of range");
+    return {id / cols_, id % cols_};
+}
+
+SiteId
+MacrochipGeometry::idOf(SiteCoord c) const
+{
+    if (c.row >= rows_ || c.col >= cols_)
+        panic("idOf: coord (", c.row, ",", c.col, ") out of range");
+    return c.row * cols_ + c.col;
+}
+
+double
+MacrochipGeometry::routeLengthCm(SiteId src, SiteId dst) const
+{
+    const SiteCoord a = coordOf(src);
+    const SiteCoord b = coordOf(dst);
+    const auto dr = static_cast<double>(
+        a.row > b.row ? a.row - b.row : b.row - a.row);
+    const auto dc = static_cast<double>(
+        a.col > b.col ? a.col - b.col : b.col - a.col);
+    return (dr + dc) * pitchCm_;
+}
+
+Tick
+MacrochipGeometry::propagationDelay(SiteId src, SiteId dst) const
+{
+    return waveguideDelay(routeLengthCm(src, dst));
+}
+
+std::uint32_t
+MacrochipGeometry::torusHops(SiteId src, SiteId dst) const
+{
+    const SiteCoord a = coordOf(src);
+    const SiteCoord b = coordOf(dst);
+    const std::uint32_t dr =
+        a.row > b.row ? a.row - b.row : b.row - a.row;
+    const std::uint32_t dc =
+        a.col > b.col ? a.col - b.col : b.col - a.col;
+    return std::min(dr, rows_ - dr) + std::min(dc, cols_ - dc);
+}
+
+} // namespace macrosim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Miss Status Holding Registers.
+ *
+ * The paper models "finite MSHRs" (section 5): each core may have at
+ * most mshrsPerCore outstanding coherence transactions; a core whose
+ * bank is full stalls until one retires. This is the feedback path
+ * that turns network latency into application slowdown (section 6.2).
+ */
+
+#ifndef MACROSIM_ARCH_MSHR_HH
+#define MACROSIM_ARCH_MSHR_HH
+
+#include <cstdint>
+
+namespace macrosim
+{
+
+class MshrBank
+{
+  public:
+    explicit MshrBank(std::uint32_t capacity) : capacity_(capacity) {}
+
+    bool full() const { return inUse_ >= capacity_; }
+    std::uint32_t inUse() const { return inUse_; }
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Reserve an entry. @return false if the bank is full. */
+    bool
+    allocate()
+    {
+        if (full())
+            return false;
+        ++inUse_;
+        ++allocations_;
+        return true;
+    }
+
+    /** Release an entry on transaction completion. */
+    void
+    release()
+    {
+        if (inUse_ == 0)
+            return; // tolerated for robustness; callers assert
+        --inUse_;
+    }
+
+    std::uint64_t allocations() const { return allocations_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::uint32_t inUse_ = 0;
+    std::uint64_t allocations_ = 0;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_ARCH_MSHR_HH

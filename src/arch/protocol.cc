@@ -1,0 +1,45 @@
+#include "arch/protocol.hh"
+
+namespace macrosim
+{
+
+std::string_view
+to_string(CacheState s)
+{
+    switch (s) {
+      case CacheState::Invalid: return "I";
+      case CacheState::Shared: return "S";
+      case CacheState::Exclusive: return "E";
+      case CacheState::Owned: return "O";
+      case CacheState::Modified: return "M";
+    }
+    return "?";
+}
+
+std::string_view
+to_string(CoherenceOp op)
+{
+    switch (op) {
+      case CoherenceOp::GetS: return "GetS";
+      case CoherenceOp::GetM: return "GetM";
+      case CoherenceOp::Upgrade: return "Upgrade";
+      case CoherenceOp::PutM: return "PutM";
+    }
+    return "?";
+}
+
+std::string_view
+to_string(CoherenceMsg m)
+{
+    switch (m) {
+      case CoherenceMsg::Request: return "Request";
+      case CoherenceMsg::FwdRequest: return "FwdRequest";
+      case CoherenceMsg::Invalidate: return "Invalidate";
+      case CoherenceMsg::InvAck: return "InvAck";
+      case CoherenceMsg::Data: return "Data";
+      case CoherenceMsg::WritebackAck: return "WritebackAck";
+    }
+    return "?";
+}
+
+} // namespace macrosim

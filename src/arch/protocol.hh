@@ -1,0 +1,91 @@
+/**
+ * @file
+ * MOESI coherence protocol vocabulary shared by caches, the directory
+ * and the coherence engine (paper section 5: "models an MOESI
+ * coherence protocol").
+ */
+
+#ifndef MACROSIM_ARCH_PROTOCOL_HH
+#define MACROSIM_ARCH_PROTOCOL_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace macrosim
+{
+
+/** Cache-line states of the MOESI protocol. */
+enum class CacheState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Owned,
+    Modified,
+};
+
+constexpr bool
+isDirty(CacheState s)
+{
+    return s == CacheState::Modified || s == CacheState::Owned;
+}
+
+constexpr bool
+canRead(CacheState s)
+{
+    return s != CacheState::Invalid;
+}
+
+constexpr bool
+canWrite(CacheState s)
+{
+    return s == CacheState::Modified || s == CacheState::Exclusive;
+}
+
+std::string_view to_string(CacheState s);
+
+/** Processor-side request classes reaching the L2. */
+enum class MemOp : std::uint8_t
+{
+    Read,
+    Write,
+};
+
+/** Coherence transaction classes issued by an L2 on a miss. */
+enum class CoherenceOp : std::uint8_t
+{
+    GetS,      ///< Read miss: need a readable copy.
+    GetM,      ///< Write miss: need an exclusive copy.
+    Upgrade,   ///< Write hit on Shared/Owned: need ownership only.
+    PutM,      ///< Writeback of a dirty evicted line.
+};
+
+std::string_view to_string(CoherenceOp op);
+
+/** Network message types used by the protocol. */
+enum class CoherenceMsg : std::uint8_t
+{
+    Request,      ///< Requester -> home (GetS/GetM/Upgrade/PutM).
+    FwdRequest,   ///< Home -> current owner, forwarding a request.
+    Invalidate,   ///< Home -> sharer.
+    InvAck,       ///< Sharer -> requester.
+    Data,         ///< Owner or home -> requester (carries the line).
+    WritebackAck, ///< Home -> writer after a PutM.
+};
+
+std::string_view to_string(CoherenceMsg m);
+
+/** Whether a message type carries a full cache line. */
+constexpr bool
+carriesData(CoherenceMsg m)
+{
+    return m == CoherenceMsg::Data;
+}
+
+/** Message sizes (bytes on the wire), section 5 / 6.1. */
+constexpr std::uint32_t controlMessageBytes = 8;
+constexpr std::uint32_t dataMessageBytes = 72; // 64 B line + 8 B header
+
+} // namespace macrosim
+
+#endif // MACROSIM_ARCH_PROTOCOL_HH

@@ -1,0 +1,55 @@
+#include "net/analysis.hh"
+
+#include <algorithm>
+
+#include "net/circuit_switched.hh"
+#include "net/limited_pt2pt.hh"
+#include "net/pt2pt.hh"
+#include "net/token_ring.hh"
+#include "net/two_phase.hh"
+
+namespace macrosim
+{
+
+std::vector<ScalingPoint>
+analyzeAllNetworks(const MacrochipConfig &cfg)
+{
+    // Component counts and power are pure functions of the
+    // configuration; the networks are built against a throwaway
+    // simulator purely to reuse their descriptor code.
+    Simulator sim;
+    std::vector<ScalingPoint> rows;
+
+    auto add = [&](const Network &net) {
+        ScalingPoint p;
+        p.network = std::string(net.name());
+        p.sites = cfg.siteCount();
+        p.wavelengthsPerWaveguide = cfg.wavelengthsPerWaveguide;
+        p.peakTBs = cfg.peakBandwidthTBs();
+        p.counts = net.componentCounts();
+        p.laserWatts = net.laserWatts();
+        p.chipEdgeCm = cfg.sitePitchCm
+            * static_cast<double>(std::max(cfg.rows, cfg.cols));
+        rows.push_back(std::move(p));
+    };
+
+    add(TokenRingCrossbar(sim, cfg));
+    add(CircuitSwitchedTorus(sim, cfg));
+    add(PointToPointNetwork(sim, cfg));
+    add(LimitedPointToPointNetwork(sim, cfg));
+    add(TwoPhaseArbitratedNetwork(sim, cfg));
+    add(TwoPhaseArbitratedNetwork(sim, cfg, true));
+    return rows;
+}
+
+std::uint64_t
+electronicPointToPointWires(std::uint32_t sites,
+                            std::uint32_t bits_per_link)
+{
+    // Ordered pairs x link width: the quadratic blow-up that makes
+    // electronic full connectivity impractical (section 4.1).
+    return static_cast<std::uint64_t>(sites)
+        * (sites - 1) * bits_per_link;
+}
+
+} // namespace macrosim

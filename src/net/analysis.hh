@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Scalability and complexity analysis (paper section 6.4).
+ *
+ * The paper's complexity argument: as the number of wavelengths per
+ * waveguide grows with technology, a photonic point-to-point
+ * network's peak bandwidth scales *without* adding waveguides —
+ * unlike electronic point-to-point networks, whose wire count grows
+ * quadratically — while every other photonic topology also needs
+ * more switches and arbitration hardware. These helpers compute
+ * component counts, bandwidth and laser power as closed-form
+ * functions of the grid size and WDM factor so the claim can be
+ * regenerated for arbitrary macrochips (see
+ * bench_ext_scalability).
+ */
+
+#ifndef MACROSIM_NET_ANALYSIS_HH
+#define MACROSIM_NET_ANALYSIS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "net/network.hh"
+#include "photonics/laser_power.hh"
+
+namespace macrosim
+{
+
+/** Global waveguide pitch on the SOI routing layer: 10 um (sec. 2). */
+constexpr double waveguidePitchCm = 10e-4;
+
+/** One topology's analytic scaling row for a given configuration. */
+struct ScalingPoint
+{
+    std::string network;
+    std::uint32_t sites = 0;
+    std::uint32_t wavelengthsPerWaveguide = 0;
+    /** Total peak network bandwidth, TB/s. */
+    double peakTBs = 0.0;
+    ComponentCounts counts;
+    double laserWatts = 0.0;
+    /** Macrochip edge length (sites x pitch), cm. */
+    double chipEdgeCm = 0.0;
+
+    /** Waveguides per TB/s of peak bandwidth (lower is better). */
+    double
+    waveguidesPerTBs() const
+    {
+        return peakTBs > 0.0
+            ? static_cast<double>(counts.waveguides) / peakTBs
+            : 0.0;
+    }
+
+    /**
+     * SOI substrate area consumed by waveguide routing, cm^2: each
+     * area-equivalent waveguide (Table 6's counting convention) runs
+     * the chip edge at the 10 um global pitch. The substrate itself
+     * is chipEdgeCm^2, which bounds how much network fits at all.
+     */
+    double
+    waveguideAreaCm2() const
+    {
+        return static_cast<double>(counts.waveguides) * chipEdgeCm
+            * waveguidePitchCm;
+    }
+
+    /** Routing area as a fraction of the whole substrate. */
+    double
+    substrateFraction() const
+    {
+        const double substrate = chipEdgeCm * chipEdgeCm;
+        return substrate > 0.0 ? waveguideAreaCm2() / substrate : 0.0;
+    }
+};
+
+/** Build every network once for @p cfg and collect its scaling row. */
+std::vector<ScalingPoint> analyzeAllNetworks(const MacrochipConfig &cfg);
+
+/**
+ * Wires an electronic fully-connected point-to-point network would
+ * need on the same system, for the section 6.4 contrast: every
+ * ordered site pair gets a dedicated @p bits-wide bus, so the count
+ * grows quadratically with sites and linearly with bandwidth.
+ */
+std::uint64_t electronicPointToPointWires(std::uint32_t sites,
+                                          std::uint32_t bits_per_link);
+
+} // namespace macrosim
+
+#endif // MACROSIM_NET_ANALYSIS_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Time-multiplexed link resources for packet-level simulation.
+ *
+ * An OpticalChannel models one logical WDM channel: a fixed bandwidth
+ * (from its wavelength count) and a propagation delay. Transmissions
+ * reserve back-to-back serialization slots ("busy-until" scheduling),
+ * so queueing delay emerges naturally and per-channel order is FIFO.
+ *
+ * BusyResource is the same idea for non-channel exclusive hardware
+ * (switch trees, control-network gateways, router ports).
+ */
+
+#ifndef MACROSIM_NET_CHANNEL_HH
+#define MACROSIM_NET_CHANNEL_HH
+
+#include <cstdint>
+
+#include "photonics/components.hh"
+#include "sim/ticks.hh"
+
+namespace macrosim
+{
+
+/** An exclusive resource scheduled with busy-until semantics. */
+class BusyResource
+{
+  public:
+    /** Earliest time the resource is idle, at or after @p earliest. */
+    Tick
+    nextFree(Tick earliest) const
+    {
+        return earliest > busyUntil_ ? earliest : busyUntil_;
+    }
+
+    /**
+     * Reserve the resource for @p duration starting no earlier than
+     * @p earliest. @return the actual start time.
+     */
+    Tick
+    reserve(Tick earliest, Tick duration)
+    {
+        const Tick start = nextFree(earliest);
+        busyUntil_ = start + duration;
+        return start;
+    }
+
+    Tick busyUntil() const { return busyUntil_; }
+
+  private:
+    Tick busyUntil_ = 0;
+};
+
+/** A WDM optical channel: serialization bandwidth + flight time. */
+class OpticalChannel
+{
+  public:
+    /**
+     * @param wavelengths Number of 20 Gb/s wavelengths ganged into
+     *        this logical channel (its data-path width).
+     * @param propagation Source-to-destination flight time.
+     */
+    OpticalChannel(std::uint32_t wavelengths, Tick propagation)
+        : wavelengths_(wavelengths), propagation_(propagation)
+    {}
+
+    std::uint32_t wavelengths() const { return wavelengths_; }
+    Tick propagation() const { return propagation_; }
+
+    /** Channel bandwidth in bytes per nanosecond. */
+    double
+    bandwidthBytesPerNs() const
+    {
+        return static_cast<double>(wavelengths_)
+            * bytesPerNsPerWavelength;
+    }
+
+    /** Time to clock @p bytes through the modulator bank. */
+    Tick
+    serialization(std::uint32_t bytes) const
+    {
+        // bytes / (wavelengths * 2.5 B/ns) in ps, rounded up so a
+        // transfer never takes zero time.
+        const std::uint64_t ps =
+            (static_cast<std::uint64_t>(bytes) * 1000ull * 8ull
+             + (static_cast<std::uint64_t>(wavelengths_) * 20ull) - 1)
+            / (static_cast<std::uint64_t>(wavelengths_) * 20ull);
+        return ps;
+    }
+
+    /**
+     * Enqueue a transmission of @p bytes, starting no earlier than
+     * @p earliest. @return the delivery time of the last byte at the
+     * far end (start + serialization + propagation).
+     */
+    Tick
+    transmit(Tick earliest, std::uint32_t bytes)
+    {
+        const Tick start = line_.reserve(earliest,
+                                         serialization(bytes));
+        return start + serialization(bytes) + propagation_;
+    }
+
+    /** As transmit(), but also reports when serialization started. */
+    Tick
+    transmitFrom(Tick earliest, std::uint32_t bytes, Tick &start_out)
+    {
+        const Tick start = line_.reserve(earliest,
+                                         serialization(bytes));
+        start_out = start;
+        return start + serialization(bytes) + propagation_;
+    }
+
+    Tick busyUntil() const { return line_.busyUntil(); }
+
+  private:
+    std::uint32_t wavelengths_;
+    Tick propagation_;
+    BusyResource line_;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_NET_CHANNEL_HH

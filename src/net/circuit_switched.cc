@@ -1,0 +1,184 @@
+#include "net/circuit_switched.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+CircuitSwitchedTorus::CircuitSwitchedTorus(Simulator &sim,
+                                           const MacrochipConfig &config,
+                                           std::uint32_t gateways_per_site)
+    : Network(sim, config),
+      gatewaysPerSite_(gateways_per_site),
+      circuitLambdas_(config.txPerSite / gateways_per_site),
+      ctrlRouterDelay_(config.clockPeriod),
+      hopPropagation_(MacrochipGeometry::waveguideDelay(
+          config.sitePitchCm)),
+      freeGateways_(config.siteCount(), gateways_per_site),
+      waiting_(config.siteCount()),
+      ctrlRouters_(config.siteCount())
+{
+    if (gateways_per_site == 0 || circuitLambdas_ == 0)
+        fatal("CircuitSwitchedTorus: invalid gateway partitioning");
+    // The low-bandwidth optical control network runs two wavelengths
+    // per site (5 B/ns): a 1.6 ns store-and-forward per 8 B setup
+    // packet at each switch point. This reproduces the paper's ~2.5%
+    // sustained bandwidth: on uniform traffic each setup crosses
+    // ~4.3 control routers, so routers saturate near 2.5-3% of the
+    // 320 B/ns per-site peak.
+    ctrlSerialization_ = OpticalChannel(2, 0)
+        .serialization(controlMessageBytes);
+    dataSerialization64_ = OpticalChannel(circuitLambdas_, 0)
+        .serialization(64);
+    primeEnergyModel();
+}
+
+std::vector<SiteId>
+CircuitSwitchedTorus::torusPath(SiteId src, SiteId dst) const
+{
+    // Dimension-ordered (X then Y) routing with minimal wraparound
+    // direction in each dimension; returns intermediate switch
+    // points, excluding both endpoints.
+    std::vector<SiteId> path;
+    SiteCoord cur = geometry().coordOf(src);
+    const SiteCoord goal = geometry().coordOf(dst);
+    const std::uint32_t n_cols = geometry().cols();
+    const std::uint32_t n_rows = geometry().rows();
+
+    auto step = [](std::uint32_t from, std::uint32_t to,
+                   std::uint32_t n) -> std::uint32_t {
+        if (from == to)
+            return from;
+        const std::uint32_t fwd = (to + n - from) % n;
+        return (fwd <= n - fwd) ? (from + 1) % n : (from + n - 1) % n;
+    };
+
+    while (cur.col != goal.col) {
+        cur.col = step(cur.col, goal.col, n_cols);
+        if (cur.col != goal.col || cur.row != goal.row)
+            path.push_back(geometry().idOf(cur));
+    }
+    while (cur.row != goal.row) {
+        cur.row = step(cur.row, goal.row, n_rows);
+        if (cur.row != goal.row)
+            path.push_back(geometry().idOf(cur));
+    }
+    return path;
+}
+
+void
+CircuitSwitchedTorus::route(Message msg)
+{
+    const SiteId src = msg.src;
+    waiting_[src].push_back(std::move(msg));
+    dispatch(src);
+}
+
+void
+CircuitSwitchedTorus::dispatch(SiteId site)
+{
+    while (freeGateways_[site] > 0 && !waiting_[site].empty()) {
+        --freeGateways_[site];
+        Message msg = std::move(waiting_[site].front());
+        waiting_[site].pop_front();
+
+        // Launch the setup packet: serialized by the source's
+        // control transmitter, then it flies to the first switch
+        // point.
+        std::vector<SiteId> path = torusPath(msg.src, msg.dst);
+        const Tick depart =
+            ctrlRouters_[site].reserve(now(), ctrlSerialization_)
+            + ctrlSerialization_;
+        sim().events().schedule(
+            depart + hopPropagation_,
+            [this, msg = std::move(msg),
+             path = std::move(path)]() mutable {
+                setupHop(std::move(msg), std::move(path), 0);
+            });
+    }
+}
+
+void
+CircuitSwitchedTorus::setupHop(Message msg, std::vector<SiteId> path,
+                               std::size_t hop_idx)
+{
+    if (hop_idx >= path.size()) {
+        establish(std::move(msg), path.size());
+        return;
+    }
+    // Store-and-forward at this switch point: queue for the site's
+    // serial control router, re-serialize, program the 4x4 switch,
+    // fly onward.
+    const SiteId via = path[hop_idx];
+    const Tick depart =
+        ctrlRouters_[via].reserve(now(), ctrlSerialization_)
+        + ctrlSerialization_ + ctrlRouterDelay_;
+    sim().events().schedule(
+        depart + hopPropagation_,
+        [this, msg = std::move(msg), path = std::move(path),
+         hop_idx]() mutable {
+            setupHop(std::move(msg), std::move(path), hop_idx + 1);
+        });
+}
+
+void
+CircuitSwitchedTorus::establish(Message msg, std::size_t path_hops)
+{
+    // The acknowledgment flies back over the now-configured circuit:
+    // pure propagation plus one cycle at each end.
+    const Tick path_flight =
+        static_cast<Tick>(path_hops + 1) * hopPropagation_;
+    const Tick ack_at_src = now() + path_flight + 2 * ctrlRouterDelay_;
+
+    // Data streams over the circuit at its full width, then the
+    // teardown message releases the gateway.
+    const Tick data_ser = OpticalChannel(circuitLambdas_, 0)
+        .serialization(msg.bytes);
+    const Tick data_sent = ack_at_src + data_ser;
+    const Tick delivered = data_sent + path_flight;
+    const Tick gateway_free = data_sent + ctrlSerialization_;
+
+    ++circuits_;
+    chargeOpticalHop(msg); // data transfer
+    // Control traffic (setup + ack + teardown) is three 8 B optical
+    // messages.
+    energy().countOpticalTransfer(3 * controlMessageBytes);
+
+    const SiteId src = msg.src;
+    sim().events().schedule(gateway_free, [this, src] {
+        ++freeGateways_[src];
+        dispatch(src);
+    });
+    deliverAt(std::move(msg), delivered);
+}
+
+ComponentCounts
+CircuitSwitchedTorus::componentCounts() const
+{
+    // Table 6: 8192 Tx / 8192 Rx / 2048 waveguides (64 waveguide
+    // loops between each pair of site rows) / 1024 4x4 switches
+    // (16 per site).
+    ComponentCounts c;
+    const std::uint64_t sites = config().siteCount();
+    c.transmitters = sites * config().txPerSite;
+    c.receivers = sites * config().rxPerSite;
+    c.waveguides = sites
+        * (config().txPerSite / config().wavelengthsPerWaveguide) * 2;
+    c.opticalSwitches = sites * 16;
+    return c;
+}
+
+std::vector<LaserPowerSpec>
+CircuitSwitchedTorus::opticalPower() const
+{
+    // Worst-case path: 31 hops through 4x4 switches at an aggressive
+    // 0.5 dB each, approximately 15 dB -> the paper budgets a 30x
+    // laser power increase (Table 5: 245 W).
+    const std::uint64_t lambdas = static_cast<std::uint64_t>(
+        config().siteCount()) * config().txPerSite;
+    return {LaserPowerSpec{"Circuit-Switched", lambdas, 30.0}};
+}
+
+} // namespace macrosim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Circuit-switched optical torus (paper section 4.5; the non-blocking
+ * torus of Petracca et al. adapted to the macrochip).
+ *
+ * Each site is a torus node with 4x4 optical switches (16 per site).
+ * Before any data moves, a path-setup message walks the XY torus
+ * route hop by hop on a low-bandwidth *optical* control network (the
+ * macrochip has no active substrate for an electronic one), setting
+ * each switch point; an acknowledgment returns along the freshly
+ * configured circuit; only then does the source stream data at the
+ * circuit's full width; a teardown message releases the path. For
+ * 64-byte cache-line transfers the setup round trip dominates, which
+ * is why this network sustains only ~2.5% of peak (section 6.1).
+ *
+ * Modelling notes (documented in DESIGN.md): the torus is
+ * non-blocking, so established circuits do not contend for data
+ * waveguides; contention appears at each site's serial control
+ * router (store-and-forward of 8 B setup packets on a two-wavelength
+ * control channel) and at the source's limited pool of circuit
+ * gateways ("host access points"). The control walk is simulated
+ * hop by hop with events, so control-router queueing is FIFO in
+ * arrival order. Crosstalk at waveguide crossings is neglected, as
+ * in the paper.
+ */
+
+#ifndef MACROSIM_NET_CIRCUIT_SWITCHED_HH
+#define MACROSIM_NET_CIRCUIT_SWITCHED_HH
+
+#include <deque>
+#include <vector>
+
+#include "net/channel.hh"
+#include "net/network.hh"
+
+namespace macrosim
+{
+
+class CircuitSwitchedTorus : public Network
+{
+  public:
+    /**
+     * @param gateways_per_site Concurrent circuits a site can source;
+     *        the site's 128 transmitters are partitioned among them,
+     *        so each circuit is txPerSite/gateways wavelengths wide.
+     */
+    CircuitSwitchedTorus(Simulator &sim, const MacrochipConfig &config,
+                         std::uint32_t gateways_per_site = 4);
+
+    std::string_view name() const override { return "Circuit-Switched"; }
+
+    ComponentCounts componentCounts() const override;
+    std::vector<LaserPowerSpec> opticalPower() const override;
+
+    /** Data-path width of one circuit, in wavelengths. */
+    std::uint32_t circuitLambdas() const { return circuitLambdas_; }
+
+    /** XY-with-wraparound torus route, intermediate sites only. */
+    std::vector<SiteId> torusPath(SiteId src, SiteId dst) const;
+
+    /** Circuits fully completed (setup + data + teardown). */
+    std::uint64_t circuitsCompleted() const { return circuits_; }
+
+  protected:
+    void route(Message msg) override;
+
+  private:
+    /** Dispatch queued circuits onto free gateways of @p site. */
+    void dispatch(SiteId site);
+
+    /** Continue a setup walk: the packet just reached @p hop_idx. */
+    void setupHop(Message msg, std::vector<SiteId> path,
+                  std::size_t hop_idx);
+
+    /** Setup reached the destination: ack, stream data, tear down. */
+    void establish(Message msg, std::size_t path_hops);
+
+    std::uint32_t gatewaysPerSite_;
+    std::uint32_t circuitLambdas_;
+    Tick ctrlSerialization_; ///< 8 B on the 2-lambda control channel.
+    Tick ctrlRouterDelay_;   ///< Per-hop control processing (1 cycle).
+    Tick hopPropagation_;    ///< Site-to-site flight time (0.25 ns).
+    Tick dataSerialization64_; ///< Cached for tests.
+    std::uint64_t circuits_ = 0;
+
+    /** Free circuit gateways per site. */
+    std::vector<std::uint32_t> freeGateways_;
+    /** Circuits waiting for a gateway, per site. */
+    std::vector<std::deque<Message>> waiting_;
+    /** Per-site serial control router. */
+    std::vector<BusyResource> ctrlRouters_;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_NET_CIRCUIT_SWITCHED_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Network energy model (paper section 6.3).
+ *
+ * Static power is dominated by the laser budget of Table 5, plus ring
+ * tuning (0.1 mW per tuned wavelength) and switch bias (0.5 mW per
+ * switch). Dynamic energy is charged per transferred bit: 35 fJ at
+ * the modulator and 65 fJ at the receiver (the 50 fJ/bit laser figure
+ * of Table 1 is the static laser power expressed per bit at full
+ * rate, so it lives in the static term, not here). The limited
+ * point-to-point network additionally charges 60 pJ per byte switched
+ * through an electronic router (section 6.3, citing Firefly).
+ *
+ * EDP is (total energy) x (runtime), as in figure 10.
+ */
+
+#ifndef MACROSIM_NET_ENERGY_HH
+#define MACROSIM_NET_ENERGY_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace macrosim
+{
+
+class EnergyModel
+{
+  public:
+    /** Dynamic optical transceiver energy: 35 + 65 fJ per bit. */
+    static constexpr double transceiverFjPerBit = 35.0 + 65.0;
+
+    /** Electronic router switching energy: 60 pJ per byte. */
+    static constexpr double routerPjPerByte = 60.0;
+
+    explicit EnergyModel(double static_watts = 0.0)
+        : staticWatts_(static_watts)
+    {}
+
+    void setStaticWatts(double w) { staticWatts_ = w; }
+    double staticWatts() const { return staticWatts_; }
+
+    /** Charge one optical hop of @p bytes (modulate + receive). */
+    void
+    countOpticalTransfer(std::uint64_t bytes)
+    {
+        opticalBits_ += bytes * 8;
+    }
+
+    /** Charge one electronic router traversal of @p bytes. */
+    void
+    countRouterHop(std::uint64_t bytes)
+    {
+        routerBytes_ += bytes;
+    }
+
+    /** Dynamic transceiver energy so far, joules. */
+    double
+    opticalDynamicJoules() const
+    {
+        return static_cast<double>(opticalBits_) * transceiverFjPerBit
+            * 1e-15;
+    }
+
+    /** Electronic router energy so far, joules. */
+    double
+    routerJoules() const
+    {
+        return static_cast<double>(routerBytes_) * routerPjPerByte
+            * 1e-12;
+    }
+
+    /** Static energy integrated over @p sim_time, joules. */
+    double
+    staticJoules(Tick sim_time) const
+    {
+        return staticWatts_ * ticksToNs(sim_time) * 1e-9;
+    }
+
+    double
+    totalJoules(Tick sim_time) const
+    {
+        return staticJoules(sim_time) + opticalDynamicJoules()
+            + routerJoules();
+    }
+
+    /** Energy-delay product over a run of length @p runtime. */
+    double
+    edp(Tick runtime) const
+    {
+        return totalJoules(runtime) * ticksToNs(runtime) * 1e-9;
+    }
+
+    std::uint64_t opticalBits() const { return opticalBits_; }
+    std::uint64_t routerBytes() const { return routerBytes_; }
+
+    void
+    reset()
+    {
+        opticalBits_ = 0;
+        routerBytes_ = 0;
+    }
+
+  private:
+    double staticWatts_;
+    std::uint64_t opticalBits_ = 0;
+    std::uint64_t routerBytes_ = 0;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_NET_ENERGY_HH

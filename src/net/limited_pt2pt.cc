@@ -1,0 +1,144 @@
+#include "net/limited_pt2pt.hh"
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+LimitedPointToPointNetwork::LimitedPointToPointNetwork(
+        Simulator &sim, const MacrochipConfig &config)
+    : Network(sim, config),
+      lambdas_(8),
+      interfaceOverhead_(config.clockPeriod),
+      routerLatency_(config.clockPeriod),
+      failedRouters_(config.siteCount(), false)
+{
+    const auto n = config.siteCount();
+    for (SiteId s = 0; s < n; ++s) {
+        for (SiteId d = 0; d < n; ++d) {
+            if (s == d || !arePeers(s, d))
+                continue;
+            channels_.emplace(
+                static_cast<std::uint64_t>(s) * n + d,
+                OpticalChannel(lambdas_,
+                               geometry().propagationDelay(s, d)));
+        }
+    }
+    primeEnergyModel();
+}
+
+OpticalChannel &
+LimitedPointToPointNetwork::peerChannel(SiteId src, SiteId dst)
+{
+    const auto key = static_cast<std::uint64_t>(src)
+        * config().siteCount() + dst;
+    auto it = channels_.find(key);
+    if (it == channels_.end())
+        panic("LimitedPointToPoint: no direct channel ", src, "->",
+              dst);
+    return it->second;
+}
+
+SiteId
+LimitedPointToPointNetwork::forwarderFor(SiteId src, SiteId dst) const
+{
+    // The row-to-column router of the site at (src row, dst column)
+    // is a peer of both endpoints. (The symmetric choice through
+    // (dst row, src column) would use the column-to-row router; the
+    // paper does not specify a policy, so we route row-first.)
+    const SiteCoord s = geometry().coordOf(src);
+    const SiteCoord d = geometry().coordOf(dst);
+    return geometry().idOf({s.row, d.col});
+}
+
+SiteId
+LimitedPointToPointNetwork::alternateForwarderFor(SiteId src,
+                                                  SiteId dst) const
+{
+    const SiteCoord s = geometry().coordOf(src);
+    const SiteCoord d = geometry().coordOf(dst);
+    return geometry().idOf({d.row, s.col});
+}
+
+void
+LimitedPointToPointNetwork::failSiteRouters(SiteId site)
+{
+    if (site >= config().siteCount())
+        fatal("failSiteRouters: site ", site, " out of range");
+    failedRouters_[site] = true;
+}
+
+void
+LimitedPointToPointNetwork::route(Message msg)
+{
+    if (arePeers(msg.src, msg.dst)) {
+        OpticalChannel &ch = peerChannel(msg.src, msg.dst);
+        const Tick arrival = ch.transmit(now() + interfaceOverhead_,
+                                         msg.bytes);
+        chargeOpticalHop(msg);
+        deliverAt(msg, arrival + interfaceOverhead_);
+        return;
+    }
+
+    // Two-hop path through the forwarding peer: optical to the
+    // forwarder, O-E, one-cycle electronic route, E-O, optical to the
+    // destination. A failed forwarder is routed around through the
+    // alternate (column-first) intersection site.
+    SiteId via = forwarderFor(msg.src, msg.dst);
+    if (failedRouters_[via]) {
+        via = alternateForwarderFor(msg.src, msg.dst);
+        if (failedRouters_[via]) {
+            fatal("LimitedPointToPoint: both forwarders for ",
+                  msg.src, "->", msg.dst, " have failed routers");
+        }
+        ++rerouted_;
+    }
+    ++forwarded_;
+    OpticalChannel &first = peerChannel(msg.src, via);
+    const Tick at_via = first.transmit(now() + interfaceOverhead_,
+                                       msg.bytes);
+    chargeOpticalHop(msg);
+    sim().events().schedule(at_via + interfaceOverhead_,
+                            [this, msg, via]() mutable {
+                                forwardLeg(msg, via);
+                            });
+}
+
+void
+LimitedPointToPointNetwork::forwardLeg(Message msg, SiteId via)
+{
+    energy().countRouterHop(msg.bytes);
+    OpticalChannel &second = peerChannel(via, msg.dst);
+    const Tick arrival = second.transmit(
+        now() + routerLatency_ + interfaceOverhead_, msg.bytes);
+    chargeOpticalHop(msg);
+    deliverAt(msg, arrival + interfaceOverhead_);
+}
+
+ComponentCounts
+LimitedPointToPointNetwork::componentCounts() const
+{
+    // Table 6: 8192 Tx / 8192 Rx / 3072 waveguides / 128 electronic
+    // 7x7 routers (a row-to-column and a column-to-row router per
+    // site).
+    ComponentCounts c;
+    const std::uint64_t sites = config().siteCount();
+    c.transmitters = sites * config().txPerSite;
+    c.receivers = sites * config().rxPerSite;
+    const std::uint64_t horizontal =
+        sites * (config().txPerSite / config().wavelengthsPerWaveguide);
+    c.waveguides = horizontal + 2 * horizontal;
+    c.electronicRouters = 2 * sites;
+    return c;
+}
+
+std::vector<LaserPowerSpec>
+LimitedPointToPointNetwork::opticalPower() const
+{
+    // Direct links only, within the un-switched budget: 1x, ~8 W.
+    const std::uint64_t lambdas = static_cast<std::uint64_t>(
+        config().siteCount()) * config().txPerSite;
+    return {LaserPowerSpec{"Limited Pt-to-Pt", lambdas, 1.0}};
+}
+
+} // namespace macrosim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Limited point-to-point network with electronic routing (paper
+ * section 4.6, figure 5).
+ *
+ * Each site has a direct 8-wavelength / 20 GB/s optical channel to
+ * each of its row peers and column peers. Traffic to any other site
+ * is forwarded through the single site that is a peer of both — the
+ * intersection (src row, dst column) — where one of two per-site 7x7
+ * electronic routers converts the packet O-E, switches it, and
+ * re-transmits it E-O on a column channel. Every packet thus takes at
+ * most one intermediate electronic hop. Router latency is one cycle;
+ * router energy is 60 pJ/byte (section 6.3).
+ */
+
+#ifndef MACROSIM_NET_LIMITED_PT2PT_HH
+#define MACROSIM_NET_LIMITED_PT2PT_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/channel.hh"
+#include "net/network.hh"
+
+namespace macrosim
+{
+
+class LimitedPointToPointNetwork : public Network
+{
+  public:
+    LimitedPointToPointNetwork(Simulator &sim,
+                               const MacrochipConfig &config);
+
+    std::string_view
+    name() const override
+    {
+        return "Limited Point-to-Point";
+    }
+
+    ComponentCounts componentCounts() const override;
+    std::vector<LaserPowerSpec> opticalPower() const override;
+
+    /** Wavelengths per peer channel (8 -> 20 GB/s). */
+    std::uint32_t wavelengthsPerChannel() const { return lambdas_; }
+
+    /** The forwarding site for a non-peer pair. */
+    SiteId forwarderFor(SiteId src, SiteId dst) const;
+
+    /** The alternate forwarder: (dst row, src column), reached
+     *  column-first through the site's column-to-row router. */
+    SiteId alternateForwarderFor(SiteId src, SiteId dst) const;
+
+    /**
+     * Mark a site's electronic routers as failed (yield / repair
+     * scenarios — the macrochip's motivation is precisely tolerating
+     * imperfect silicon). Direct traffic to and from the site still
+     * flows; forwarded traffic reroutes through the alternate
+     * forwarder. Routing between a pair whose BOTH forwarders have
+     * failed is impossible and inject() reports it via fatal().
+     */
+    void failSiteRouters(SiteId site);
+
+    /** Whether a site's routers are failed. */
+    bool
+    routersFailed(SiteId site) const
+    {
+        return failedRouters_[site];
+    }
+
+    /** Packets that took the alternate (column-first) route. */
+    std::uint64_t reroutedPackets() const { return rerouted_; }
+
+    /** Whether two distinct sites share a row or column. */
+    bool
+    arePeers(SiteId a, SiteId b) const
+    {
+        return geometry().sameRow(a, b) || geometry().sameCol(a, b);
+    }
+
+    /** Packets that needed an intermediate electronic hop. */
+    std::uint64_t forwardedPackets() const { return forwarded_; }
+
+  protected:
+    void route(Message msg) override;
+
+  private:
+    OpticalChannel &peerChannel(SiteId src, SiteId dst);
+
+    /** Second (optical) leg of a forwarded packet. */
+    void forwardLeg(Message msg, SiteId via);
+
+    std::uint32_t lambdas_;
+    Tick interfaceOverhead_;
+    Tick routerLatency_;
+    std::uint64_t forwarded_ = 0;
+    std::uint64_t rerouted_ = 0;
+    std::vector<bool> failedRouters_;
+    /** Direct channels keyed by src * sites + dst (peers only). */
+    std::unordered_map<std::uint64_t, OpticalChannel> channels_;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_NET_LIMITED_PT2PT_HH

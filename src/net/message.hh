@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Network message representation.
+ *
+ * The simulator is packet-granular: a Message is one network packet
+ * (a raw 64 B test packet, an 8 B coherence control message, or a
+ * 72 B data message) and carries its own timing breadcrumbs so
+ * latency statistics need no side tables.
+ */
+
+#ifndef MACROSIM_NET_MESSAGE_HH
+#define MACROSIM_NET_MESSAGE_HH
+
+#include <cstdint>
+
+#include "arch/geometry.hh"
+#include "arch/protocol.hh"
+#include "sim/ticks.hh"
+
+namespace macrosim
+{
+
+/** Virtual-channel class, one per coherence message class, to keep
+ *  requests and responses from blocking each other. */
+enum class MsgClass : std::uint8_t
+{
+    Request,
+    Response,
+    Data,
+};
+
+using MessageId = std::uint64_t;
+using TxnId = std::uint64_t;
+
+struct Message
+{
+    MessageId id = 0;
+    SiteId src = 0;
+    SiteId dst = 0;
+    std::uint32_t bytes = 64;
+    MsgClass cls = MsgClass::Data;
+
+    /** Coherence semantics; meaningful when txn != 0. */
+    CoherenceMsg type = CoherenceMsg::Data;
+    TxnId txn = 0;
+
+    /** When the workload generated the packet (queueing included). */
+    Tick created = 0;
+    /** When the network accepted it. */
+    Tick injected = 0;
+    /** When the destination received the last byte. */
+    Tick delivered = 0;
+
+    /** Free-form field for workload drivers. */
+    std::uint64_t cookie = 0;
+
+    Tick
+    latency() const
+    {
+        return delivered - created;
+    }
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_NET_MESSAGE_HH

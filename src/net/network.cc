@@ -1,0 +1,101 @@
+#include "net/network.hh"
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+Network::Network(Simulator &sim, const MacrochipConfig &config)
+    : sim_(sim), config_(config), geometry_(config.geometry()),
+      handlers_(config.siteCount())
+{
+}
+
+void
+Network::inject(Message msg)
+{
+    if (msg.src >= config_.siteCount() || msg.dst >= config_.siteCount())
+        panic("Network::inject: site out of range (src=", msg.src,
+              " dst=", msg.dst, ")");
+    if (msg.id == 0)
+        msg.id = nextId_++;
+    msg.injected = now();
+    if (msg.created == 0)
+        msg.created = msg.injected;
+    ++stats_.injected;
+
+    if (msg.src == msg.dst) {
+        // Intra-site traffic uses a single-cycle electrical loopback
+        // (section 6.2); it consumes no optical resources.
+        deliverAt(msg, now() + cycle());
+        return;
+    }
+    route(std::move(msg));
+}
+
+void
+Network::deliverAt(Message msg, Tick when)
+{
+    sim_.events().schedule(when, [this, msg]() mutable {
+        msg.delivered = now();
+        ++stats_.delivered;
+        stats_.bytesDelivered += msg.bytes;
+        stats_.latencyNs.sample(ticksToNs(msg.delivered - msg.created));
+        if (observer_)
+            observer_(msg);
+        const Handler &h = handlers_[msg.dst] ? handlers_[msg.dst]
+                                              : defaultHandler_;
+        if (h)
+            h(msg);
+    });
+}
+
+double
+Network::laserWatts() const
+{
+    double watts = 0.0;
+    for (const auto &spec : opticalPower())
+        watts += spec.watts();
+    return watts;
+}
+
+double
+Network::staticWatts() const
+{
+    const ComponentCounts counts = componentCounts();
+    const double tuning_w = tuningMwPerWavelength * 1e-3
+        * static_cast<double>(counts.transmitters + counts.receivers);
+    const double switch_w = properties(Component::Switch)
+        .staticPower.value * 1e-3
+        * static_cast<double>(counts.opticalSwitches);
+    return laserWatts() + tuning_w + switch_w;
+}
+
+void
+Network::primeEnergyModel()
+{
+    energy_.setStaticWatts(staticWatts());
+}
+
+void
+Network::registerStats(StatGroup &group, const std::string &prefix)
+{
+    group.addCounter(prefix + ".injected", stats_.injected);
+    group.addCounter(prefix + ".delivered", stats_.delivered);
+    group.addCounter(prefix + ".bytes", stats_.bytesDelivered);
+    group.addMean(prefix + ".latency_ns", stats_.latencyNs);
+    group.add(prefix + ".optical_bits", &energy_,
+              [](const void *p) {
+                  return static_cast<double>(
+                      static_cast<const EnergyModel *>(p)
+                          ->opticalBits());
+              });
+    group.add(prefix + ".router_bytes", &energy_,
+              [](const void *p) {
+                  return static_cast<double>(
+                      static_cast<const EnergyModel *>(p)
+                          ->routerBytes());
+              });
+}
+
+} // namespace macrosim

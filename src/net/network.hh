@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Abstract inter-site network interface and shared bookkeeping.
+ *
+ * A Network accepts packets via inject() and, some simulated time
+ * later, invokes the destination site's delivery handler. Subclasses
+ * implement route() with their topology's arbitration / switching /
+ * routing mechanics; the base class owns delivery dispatch, latency
+ * and bandwidth statistics, energy accounting, the single-cycle
+ * intra-site loopback of section 6.2, and the analytic descriptors
+ * (component counts, laser power) behind Tables 5 and 6.
+ */
+
+#ifndef MACROSIM_NET_NETWORK_HH
+#define MACROSIM_NET_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "arch/config.hh"
+#include "net/energy.hh"
+#include "net/message.hh"
+#include "photonics/laser_power.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace macrosim
+{
+
+/** One row of Table 6: optical component totals for a network. */
+struct ComponentCounts
+{
+    std::uint64_t transmitters = 0;
+    std::uint64_t receivers = 0;
+    /** Waveguide count including area-equivalent routing (see 6.4). */
+    std::uint64_t waveguides = 0;
+    std::uint64_t opticalSwitches = 0;
+    std::uint64_t electronicRouters = 0;
+};
+
+/** Aggregate delivery statistics, resettable for warmup windows. */
+struct NetworkStats
+{
+    Counter injected;
+    Counter delivered;
+    Counter bytesDelivered;
+    /** End-to-end latency per delivered packet, nanoseconds. */
+    Accumulator latencyNs;
+
+    void
+    reset()
+    {
+        injected.reset();
+        delivered.reset();
+        bytesDelivered.reset();
+        latencyNs.reset();
+    }
+};
+
+class Network
+{
+  public:
+    using Handler = std::function<void(const Message &)>;
+
+    Network(Simulator &sim, const MacrochipConfig &config);
+    virtual ~Network() = default;
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    virtual std::string_view name() const = 0;
+
+    /**
+     * Accept a packet for delivery. Stamps injection time, serves
+     * intra-site traffic over the one-cycle loopback, and hands
+     * inter-site traffic to the topology.
+     */
+    void inject(Message msg);
+
+    /** Register the receive callback for one site. */
+    void
+    setDeliveryHandler(SiteId site, Handler h)
+    {
+        handlers_.at(site) = std::move(h);
+    }
+
+    /** Register a fallback callback for sites without their own. */
+    void setDefaultHandler(Handler h) { defaultHandler_ = std::move(h); }
+
+    /**
+     * Register an observer invoked for *every* delivery, before the
+     * site handler. Observers are for instrumentation (tracing,
+     * logging) and must not mutate simulation state.
+     */
+    void setDeliveryObserver(Handler h) { observer_ = std::move(h); }
+
+    NetworkStats &stats() { return stats_; }
+    const NetworkStats &stats() const { return stats_; }
+
+    EnergyModel &energy() { return energy_; }
+    const EnergyModel &energy() const { return energy_; }
+
+    const MacrochipConfig &config() const { return config_; }
+    const MacrochipGeometry &geometry() const { return geometry_; }
+    Simulator &sim() { return sim_; }
+
+    /** Table 6 row for this network. */
+    virtual ComponentCounts componentCounts() const = 0;
+
+    /** Table 5 rows (data network, plus any control subnetworks). */
+    virtual std::vector<LaserPowerSpec> opticalPower() const = 0;
+
+    /** Total laser watts across all subnetworks. */
+    double laserWatts() const;
+
+    /**
+     * Total static electrical+optical power: lasers, ring tuning
+     * (0.1 mW per Tx and Rx ring), and switch bias (0.5 mW each).
+     */
+    double staticWatts() const;
+
+    /** Refresh the energy model's static power from the descriptors.
+     *  Must be called once by the concrete class's constructor (the
+     *  descriptors are virtual and unavailable during base
+     *  construction). */
+    void primeEnergyModel();
+
+    /**
+     * Register this network's statistics under "<prefix>." in a
+     * StatGroup for uniform reporting (gem5-style stat dumps). The
+     * group pulls values at dump time, so register once and dump
+     * whenever.
+     */
+    void registerStats(StatGroup &group, const std::string &prefix);
+
+  protected:
+    /** Deliver inter-site traffic; implemented by each topology. */
+    virtual void route(Message msg) = 0;
+
+    /**
+     * Schedule final delivery of @p msg at @p when, stamping
+     * timestamps and stats and invoking the site handler.
+     */
+    void deliverAt(Message msg, Tick when);
+
+    /** Charge one optical hop's transceiver energy for @p msg. */
+    void
+    chargeOpticalHop(const Message &msg)
+    {
+        energy_.countOpticalTransfer(msg.bytes);
+    }
+
+    Tick now() const { return sim_.now(); }
+    Tick cycle() const { return config_.clockPeriod; }
+
+  private:
+    Simulator &sim_;
+    MacrochipConfig config_;
+    MacrochipGeometry geometry_;
+    NetworkStats stats_;
+    EnergyModel energy_;
+    std::vector<Handler> handlers_;
+    Handler defaultHandler_;
+    Handler observer_;
+    MessageId nextId_ = 1;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_NET_NETWORK_HH

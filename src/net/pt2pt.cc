@@ -1,0 +1,84 @@
+#include "net/pt2pt.hh"
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+PointToPointNetwork::PointToPointNetwork(Simulator &sim,
+                                         const MacrochipConfig &config)
+    : Network(sim, config),
+      lambdas_(config.txPerSite / config.siteCount()),
+      interfaceOverhead_(config.clockPeriod)
+{
+    if (lambdas_ == 0)
+        fatal("PointToPointNetwork: fewer transmitters (",
+              config.txPerSite, ") than sites (", config.siteCount(),
+              ")");
+
+    const auto n = config.siteCount();
+    channels_.reserve(static_cast<std::size_t>(n) * n);
+    for (SiteId s = 0; s < n; ++s) {
+        for (SiteId d = 0; d < n; ++d) {
+            channels_.emplace_back(lambdas_,
+                                   geometry().propagationDelay(s, d));
+        }
+    }
+    primeEnergyModel();
+}
+
+OpticalChannel &
+PointToPointNetwork::channelRef(SiteId src, SiteId dst)
+{
+    return channels_[static_cast<std::size_t>(src)
+                     * config().siteCount() + dst];
+}
+
+const OpticalChannel &
+PointToPointNetwork::channel(SiteId src, SiteId dst) const
+{
+    return channels_[static_cast<std::size_t>(src)
+                     * config().siteCount() + dst];
+}
+
+void
+PointToPointNetwork::route(Message msg)
+{
+    // E-O at the source, serialize over the pair's channel, fly to
+    // the destination column and down its drop filter, O-E at the
+    // receiver. The channel's busy-until scheduling queues back-to-
+    // back packets of this pair FIFO.
+    OpticalChannel &ch = channelRef(msg.src, msg.dst);
+    const Tick arrival = ch.transmit(now() + interfaceOverhead_,
+                                     msg.bytes);
+    chargeOpticalHop(msg);
+    deliverAt(msg, arrival + interfaceOverhead_);
+}
+
+ComponentCounts
+PointToPointNetwork::componentCounts() const
+{
+    // Table 6: 8192 Tx, 8192 Rx, 3072 waveguides (1024 horizontal +
+    // 2048 vertical: column channels need one waveguide per
+    // direction), no switches.
+    ComponentCounts c;
+    const std::uint64_t sites = config().siteCount();
+    c.transmitters = sites * config().txPerSite;
+    c.receivers = sites * config().rxPerSite;
+    const std::uint64_t horizontal =
+        sites * (config().txPerSite / config().wavelengthsPerWaveguide);
+    c.waveguides = horizontal + 2 * horizontal;
+    return c;
+}
+
+std::vector<LaserPowerSpec>
+PointToPointNetwork::opticalPower() const
+{
+    // No component beyond the canonical un-switched link: loss factor
+    // 1x, 8192 wavelengths -> ~8 W (Table 5).
+    const std::uint64_t lambdas = static_cast<std::uint64_t>(
+        config().siteCount()) * config().txPerSite;
+    return {LaserPowerSpec{"Point-to-Point", lambdas, 1.0}};
+}
+
+} // namespace macrosim

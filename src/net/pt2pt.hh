@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Statically-routed WDM point-to-point network (paper section 4.2).
+ *
+ * Every ordered site pair owns a dedicated optical channel: the
+ * transmitter picks the waveguide leading to the destination's column
+ * and the wavelength that the destination's drop filter extracts, so
+ * there is no arbitration, no switching and no routing — the only
+ * queueing is for the pair's own narrow channel.
+ *
+ * With Table 4's 128 transmitters per site spread over 64 sites, each
+ * channel is 2 wavelengths = 5 GB/s and 2 bits wide; the whole
+ * network peaks at 20 TB/s.
+ */
+
+#ifndef MACROSIM_NET_PT2PT_HH
+#define MACROSIM_NET_PT2PT_HH
+
+#include <vector>
+
+#include "net/channel.hh"
+#include "net/network.hh"
+
+namespace macrosim
+{
+
+class PointToPointNetwork : public Network
+{
+  public:
+    PointToPointNetwork(Simulator &sim, const MacrochipConfig &config);
+
+    std::string_view name() const override { return "Point-to-Point"; }
+
+    ComponentCounts componentCounts() const override;
+    std::vector<LaserPowerSpec> opticalPower() const override;
+
+    /** Wavelengths (data-path bits) per site-pair channel. */
+    std::uint32_t wavelengthsPerChannel() const { return lambdas_; }
+
+    /** Direct access for tests: the channel for an ordered pair. */
+    const OpticalChannel &channel(SiteId src, SiteId dst) const;
+
+  protected:
+    void route(Message msg) override;
+
+  private:
+    OpticalChannel &channelRef(SiteId src, SiteId dst);
+
+    std::uint32_t lambdas_;
+    /** Per-direction E-O + O-E conversion overhead (one cycle). */
+    Tick interfaceOverhead_;
+    std::vector<OpticalChannel> channels_; // src * sites + dst
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_NET_PT2PT_HH

@@ -1,0 +1,160 @@
+#include "net/token_ring.hh"
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+TokenRingCrossbar::TokenRingCrossbar(Simulator &sim,
+                                     const MacrochipConfig &config)
+    : Network(sim, config),
+      hop_(geometry().ringHopDelay()),
+      bundleLambdas_(config.rxPerSite),
+      ringPos_(config.siteCount()),
+      arbiters_(config.siteCount())
+{
+    // Serpentine (boustrophedon) ring order so consecutive ring
+    // positions are physically adjacent sites.
+    for (SiteId s = 0; s < config.siteCount(); ++s) {
+        const SiteCoord c = geometry().coordOf(s);
+        const std::uint32_t col_in_row =
+            (c.row % 2 == 0) ? c.col : (geometry().cols() - 1 - c.col);
+        ringPos_[s] = c.row * geometry().cols() + col_in_row;
+    }
+    primeEnergyModel();
+}
+
+std::uint32_t
+TokenRingCrossbar::forwardHops(std::uint32_t from, std::uint32_t to)
+    const
+{
+    const std::uint32_t n = ringSize();
+    return ((to + n - from - 1) % n) + 1;
+}
+
+Tick
+TokenRingCrossbar::tokenArrival(const Arbiter &arb, std::uint32_t pos,
+                                Tick earliest) const
+{
+    const Tick loop = tokenRoundTrip();
+    Tick arrival = arb.tokenFree
+        + static_cast<Tick>(forwardHops(arb.tokenPos, pos)) * hop_;
+    if (arrival < earliest) {
+        const Tick behind = earliest - arrival;
+        const Tick loops = (behind + loop - 1) / loop;
+        arrival += loops * loop;
+    }
+    return arrival;
+}
+
+void
+TokenRingCrossbar::route(Message msg)
+{
+    Arbiter &arb = arbiters_[msg.dst];
+    arb.waiting.push_back(Waiter{std::move(msg), now()});
+    armGrant(arb.waiting.back().msg.dst);
+}
+
+void
+TokenRingCrossbar::armGrant(SiteId dst)
+{
+    Arbiter &arb = arbiters_[dst];
+    if (arb.waiting.empty())
+        return;
+    // Recompute the earliest token passage among all waiters; a newly
+    // arrived waiter may be reached by the token before the currently
+    // scheduled one.
+    if (arb.grantEvent != invalidEventId) {
+        sim().events().cancel(arb.grantEvent);
+        arb.grantEvent = invalidEventId;
+    }
+    Tick best = maxTick;
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < arb.waiting.size(); ++i) {
+        const Waiter &w = arb.waiting[i];
+        const Tick arrival = tokenArrival(arb, ringPos_[w.msg.src],
+                                          w.ready);
+        if (arrival < best) {
+            best = arrival;
+            best_idx = i;
+        }
+    }
+    arb.grantEvent = sim().events().schedule(
+        best, [this, dst, best_idx] { grant(dst, best_idx); });
+}
+
+void
+TokenRingCrossbar::grant(SiteId dst, std::size_t waiter_idx)
+{
+    Arbiter &arb = arbiters_[dst];
+    arb.grantEvent = invalidEventId;
+    if (waiter_idx >= arb.waiting.size())
+        panic("TokenRingCrossbar::grant: stale waiter index");
+    Waiter w = std::move(arb.waiting[waiter_idx]);
+    arb.waiting.erase(arb.waiting.begin()
+                      + static_cast<std::ptrdiff_t>(waiter_idx));
+
+    // The sender holds the token while it streams the packet onto
+    // the destination's bundle, then re-injects it at its own ring
+    // position.
+    const std::uint32_t src_pos = ringPos_[w.msg.src];
+    const Tick hold = OpticalChannel(bundleLambdas_, 0)
+        .serialization(w.msg.bytes);
+    const Tick hold_end = now() + hold;
+    arb.tokenPos = src_pos;
+    arb.tokenFree = hold_end;
+
+    // Data flows forward along the serpentine bundle to the
+    // destination site.
+    const Tick data_prop =
+        static_cast<Tick>(forwardHops(src_pos, ringPos_[dst])) * hop_;
+    chargeOpticalHop(w.msg);
+    deliverAt(std::move(w.msg), hold_end + data_prop);
+
+    armGrant(dst);
+}
+
+std::uint64_t
+TokenRingCrossbar::physicalWaveguides() const
+{
+    // 128-lambda bundles at WDM factor 2, with the loop's return
+    // path, for each of the 64 destinations: 8192 physical
+    // waveguides (section 6.4).
+    const std::uint64_t per_bundle =
+        (config().rxPerSite / wdmFactor) * 2;
+    return static_cast<std::uint64_t>(config().siteCount())
+        * per_bundle;
+}
+
+ComponentCounts
+TokenRingCrossbar::componentCounts() const
+{
+    // Table 6: 512K Tx (every site modulates every destination's
+    // bundle), 8192 Rx, 32K area-equivalent waveguides (each of the
+    // 8192 physical waveguides is routed along every row of the
+    // macrochip, quadrupling its area contribution), no switches.
+    ComponentCounts c;
+    const std::uint64_t sites = config().siteCount();
+    c.transmitters = sites * sites * config().rxPerSite;
+    c.receivers = sites * config().rxPerSite;
+    c.waveguides = physicalWaveguides() * 4;
+    return c;
+}
+
+std::vector<LaserPowerSpec>
+TokenRingCrossbar::opticalPower() const
+{
+    // Every wavelength passes the off-resonance modulator rings of
+    // all 64 sites (wdmFactor rings per site on its waveguide):
+    // 128 x 0.1 dB = 12.8 dB of ring loss -> 19x laser power for the
+    // 8192 circulating wavelengths (Table 5: 155 W).
+    const std::uint64_t lambdas = static_cast<std::uint64_t>(
+        config().siteCount()) * config().rxPerSite;
+    const double ring_loss_db = 0.1
+        * static_cast<double>(config().siteCount() * wdmFactor);
+    return {LaserPowerSpec{"Token-Ring", lambdas,
+                           lossFactorFromExtraLoss(
+                               Decibel(ring_loss_db))}};
+}
+
+} // namespace macrosim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Token-ring-arbitrated optical crossbar (paper section 4.4; Corona
+ * adapted to the macrochip).
+ *
+ * Every destination site owns a 128-wavelength / 320 GB/s waveguide
+ * bundle that snakes past all 64 sites; any site may modulate onto
+ * the bundle, so access is arbitrated by a per-destination optical
+ * token circulating the same serpentine ring. A site diverts the
+ * token, holds it while transmitting (one cycle moves a 64-byte
+ * packet at 320 B/ns), and re-injects it. Scaled to macrochip
+ * dimensions, a full token round trip is 80 cycles (16 ns), which is
+ * the latency a sender pays between back-to-back packets to the same
+ * destination — the effect that caps one-to-one patterns below 1% of
+ * peak (section 6.1).
+ *
+ * Corona's 64-way WDM would suffer 0.1 dB off-resonance modulator
+ * loss x 4096 rings; the macrochip adaptation reduces WDM to 2 and
+ * quadruples waveguides, limiting ring loss to 12.8 dB (19x laser
+ * power, Table 5).
+ */
+
+#ifndef MACROSIM_NET_TOKEN_RING_HH
+#define MACROSIM_NET_TOKEN_RING_HH
+
+#include <deque>
+#include <vector>
+
+#include "net/channel.hh"
+#include "net/network.hh"
+
+namespace macrosim
+{
+
+class TokenRingCrossbar : public Network
+{
+  public:
+    /** WDM factor after the macrochip adaptation of section 4.4. */
+    static constexpr std::uint32_t wdmFactor = 2;
+
+    TokenRingCrossbar(Simulator &sim, const MacrochipConfig &config);
+
+    std::string_view name() const override { return "Token Ring"; }
+
+    ComponentCounts componentCounts() const override;
+    std::vector<LaserPowerSpec> opticalPower() const override;
+
+    /** Physical waveguides before area-equivalent accounting. */
+    std::uint64_t physicalWaveguides() const;
+
+    /** Ring position (serpentine order) of a site. */
+    std::uint32_t ringPosition(SiteId s) const { return ringPos_[s]; }
+
+    /** Token travel time for one full loop (80 cycles at 5 GHz). */
+    Tick tokenRoundTrip() const { return hop_ * ringSize(); }
+
+    std::uint32_t ringSize() const { return config().siteCount(); }
+
+  protected:
+    void route(Message msg) override;
+
+  private:
+    struct Waiter
+    {
+        Message msg;
+        Tick ready; ///< Earliest time this sender can take the token.
+    };
+
+    /** Per-destination token state and pending senders. */
+    struct Arbiter
+    {
+        std::uint32_t tokenPos = 0; ///< Ring index of last holder.
+        Tick tokenFree = 0;         ///< When the token departed it.
+        std::deque<Waiter> waiting;
+        EventId grantEvent = invalidEventId;
+    };
+
+    /** Forward ring distance, in hops, from index @p from to @p to;
+     *  a full loop (ringSize) when from == to. */
+    std::uint32_t forwardHops(std::uint32_t from, std::uint32_t to) const;
+
+    /** First time the token passes ring index @p pos at or after
+     *  @p earliest, given the arbiter's token state. */
+    Tick tokenArrival(const Arbiter &arb, std::uint32_t pos,
+                      Tick earliest) const;
+
+    /** (Re)schedule the next grant for destination @p dst. */
+    void armGrant(SiteId dst);
+
+    /** Fire the grant chosen by armGrant(). */
+    void grant(SiteId dst, std::size_t waiter_idx);
+
+    Tick hop_;              ///< Token/data propagation per ring hop.
+    std::uint32_t bundleLambdas_;
+    std::vector<std::uint32_t> ringPos_;  ///< site -> ring index
+    std::vector<Arbiter> arbiters_;       ///< one per destination
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_NET_TOKEN_RING_HH

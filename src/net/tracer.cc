@@ -1,0 +1,41 @@
+#include "net/tracer.hh"
+
+namespace macrosim
+{
+
+MessageTracer::MessageTracer(Network &net)
+{
+    net.setDeliveryObserver([this](const Message &m) {
+        if (!enabled_)
+            return;
+        records_.push_back(Record{m.id, m.src, m.dst, m.bytes, m.type,
+                                  m.txn, m.created, m.injected,
+                                  m.delivered});
+    });
+}
+
+double
+MessageTracer::meanLatencyNs() const
+{
+    if (records_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const Record &r : records_)
+        sum += ticksToNs(r.latency());
+    return sum / static_cast<double>(records_.size());
+}
+
+void
+MessageTracer::writeCsv(std::ostream &os) const
+{
+    os << "id,src,dst,bytes,type,txn,created_ps,injected_ps,"
+          "delivered_ps,latency_ns\n";
+    for (const Record &r : records_) {
+        os << r.id << ',' << r.src << ',' << r.dst << ',' << r.bytes
+           << ',' << to_string(r.type) << ',' << r.txn << ','
+           << r.created << ',' << r.injected << ',' << r.delivered
+           << ',' << ticksToNs(r.latency()) << '\n';
+    }
+}
+
+} // namespace macrosim

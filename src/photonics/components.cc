@@ -1,0 +1,42 @@
+#include "photonics/components.hh"
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+namespace
+{
+
+// Table 1 of the paper, plus the per-device numbers quoted in the
+// running text of section 2 (mux insertion loss, modulator
+// off-resonance loss, tuning powers, switch power).
+constexpr ComponentProperties propertyTable[] = {
+    // name                 fJ/bit   static mW  insertion dB
+    {"modulator",           {35.0},  {0.7},     Decibel(4.0)},
+    {"opxc-coupler",        {0.0},   {0.0},     Decibel(1.2)},
+    {"waveguide-local/cm",  {0.0},   {0.0},     Decibel(0.5)},
+    {"waveguide-global/cm", {0.0},   {0.0},     Decibel(0.1)},
+    {"drop-filter-pass",    {0.0},   {0.1},     Decibel(0.1)},
+    {"drop-filter-drop",    {0.0},   {0.1},     Decibel(1.5)},
+    {"multiplexer",         {0.0},   {0.1},     Decibel(2.5)},
+    {"receiver",            {65.0},  {1.3},     Decibel(0.0)},
+    {"switch",              {0.0},   {0.5},     Decibel(1.0)},
+    {"laser",               {50.0},  {0.0},     Decibel(0.0)},
+    {"modulator-off",       {0.0},   {0.0},     Decibel(0.1)},
+    {"inter-layer-coupler", {0.0},   {0.0},     Decibel(1.2)},
+    {"splitter",            {0.0},   {0.0},     Decibel(3.0)},
+};
+
+} // namespace
+
+const ComponentProperties &
+properties(Component c)
+{
+    const auto idx = static_cast<std::size_t>(c);
+    if (idx >= std::size(propertyTable))
+        panic("properties: unknown component id ", idx);
+    return propertyTable[idx];
+}
+
+} // namespace macrosim

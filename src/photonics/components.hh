@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Silicon-photonic component property table (paper section 2, Table 1).
+ *
+ * Parameters are the paper's 2014-2015 device projections. They drive
+ * both the link-budget calculator and the network power model; nothing
+ * downstream hard-codes a Table 1 number.
+ */
+
+#ifndef MACROSIM_PHOTONICS_COMPONENTS_HH
+#define MACROSIM_PHOTONICS_COMPONENTS_HH
+
+#include <string_view>
+
+#include "photonics/units.hh"
+
+namespace macrosim
+{
+
+/** The optical component classes of Table 1. */
+enum class Component
+{
+    Modulator,     ///< EO ring modulator (carrier-depletion).
+    OpxcCoupler,   ///< Optical proximity coupler (chip-to-chip).
+    WaveguideLocal, ///< Thinned-SOI local waveguide (per cm).
+    WaveguideGlobal, ///< 3um SOI routing-layer waveguide (per cm).
+    DropFilterPass, ///< Ring drop filter, non-selected wavelength.
+    DropFilterDrop, ///< Ring drop filter, selected (dropped) wavelength.
+    Multiplexer,   ///< Cascaded-ring WDM mux (worst-case channel).
+    Receiver,      ///< Waveguide photodetector + TIA.
+    Switch,        ///< Quasi-broadband 1x2 ring switch.
+    Laser,         ///< Off-chip CW DFB source (per wavelength).
+    ModulatorOff,  ///< Ring modulator passed while off-resonance.
+    InterLayerCoupler, ///< Via-like coupler between routing layers.
+    Splitter,      ///< 1:2 broadband power splitter (3 dB inherent).
+};
+
+/** Static and per-bit properties of one component class. */
+struct ComponentProperties
+{
+    std::string_view name;
+    /** Dynamic switching energy per transmitted bit. */
+    FemtojoulesPerBit dynamicEnergy;
+    /** Static electrical power while the device is active. */
+    Milliwatts staticPower;
+    /** Insertion loss seen by a signal traversing the device. */
+    Decibel insertionLoss;
+};
+
+/** Look up the Table 1 properties of a component class. */
+const ComponentProperties &properties(Component c);
+
+/* Link-level constants from section 2 of the paper. */
+
+/** Per-wavelength modulation rate: 20 Gb/s. */
+constexpr double bitRateGbps = 20.0;
+
+/** Bytes per nanosecond delivered by one wavelength (2.5 GB/s). */
+constexpr double bytesPerNsPerWavelength = bitRateGbps / 8.0;
+
+/** Receiver sensitivity: -21 dBm at 20 Gb/s. */
+constexpr PowerDbm receiverSensitivity{-21.0};
+
+/** Laser launch power at the modulator: 0 dBm (1 mW). */
+constexpr PowerDbm launchPower{0.0};
+
+/** Base laser electrical/optical power per wavelength: 1 mW. */
+constexpr double baseLaserMwPerWavelength = 1.0;
+
+/** Ring tuning power (mux and drop filters): 0.1 mW per wavelength. */
+constexpr double tuningMwPerWavelength = 0.1;
+
+/** Optical propagation: 0.1 ns/cm (about 0.3c in SOI waveguides). */
+constexpr double propagationNsPerCm = 0.1;
+
+/** A single off-chip DFB laser source provides 10 mW. */
+constexpr double laserSourceMw = 10.0;
+
+} // namespace macrosim
+
+#endif // MACROSIM_PHOTONICS_COMPONENTS_HH

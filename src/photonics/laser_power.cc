@@ -1,0 +1,12 @@
+#include "photonics/laser_power.hh"
+
+namespace macrosim
+{
+
+double
+lossFactorFromExtraLoss(Decibel extra)
+{
+    return extra.value() <= 0.0 ? 1.0 : extra.linear();
+}
+
+} // namespace macrosim

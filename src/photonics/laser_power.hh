@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Laser power accounting (paper section 6.3, Table 5).
+ *
+ * The base assumption is 1 mW of laser power per wavelength. When a
+ * network's topology adds loss beyond the canonical un-switched link
+ * budget (off-resonance modulator passes, switch hops, snooping
+ * splitters), every laser feeding it must be scaled up by the linear
+ * "power loss factor". Total network optical power is then
+ *
+ *     watts = wavelengths x 1 mW x lossFactor / 1000.
+ */
+
+#ifndef MACROSIM_PHOTONICS_LASER_POWER_HH
+#define MACROSIM_PHOTONICS_LASER_POWER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "photonics/components.hh"
+#include "photonics/units.hh"
+
+namespace macrosim
+{
+
+/** One row of Table 5: a network's (or subnetwork's) laser budget. */
+struct LaserPowerSpec
+{
+    std::string name;
+    /** Total modulated wavelengths sourced into the network. */
+    std::uint64_t wavelengths = 0;
+    /** Linear laser power multiplier to overcome extra loss. */
+    double lossFactor = 1.0;
+
+    /** Total laser power in watts. */
+    double
+    watts() const
+    {
+        return static_cast<double>(wavelengths)
+            * baseLaserMwPerWavelength * lossFactor / 1000.0;
+    }
+
+    /** Number of 10 mW off-chip DFB sources needed. */
+    std::uint64_t
+    laserSources() const
+    {
+        const double mw = watts() * 1000.0;
+        return static_cast<std::uint64_t>(
+            (mw + laserSourceMw - 1.0) / laserSourceMw);
+    }
+};
+
+/** Linear power factor for a given amount of extra loss (>= 1). */
+double lossFactorFromExtraLoss(Decibel extra);
+
+} // namespace macrosim
+
+#endif // MACROSIM_PHOTONICS_LASER_POWER_HH

@@ -1,0 +1,29 @@
+#include "photonics/link_budget.hh"
+
+namespace macrosim
+{
+
+Decibel
+OpticalPath::totalLoss() const
+{
+    Decibel total{0.0};
+    for (const auto &e : elements_)
+        total += properties(e.component).insertionLoss * e.count;
+    return total;
+}
+
+OpticalPath
+canonicalUnswitchedLink()
+{
+    OpticalPath p;
+    p.add(Component::Modulator)
+        .add(Component::Multiplexer)
+        .add(Component::OpxcCoupler)            // source die -> substrate
+        .addGlobalWaveguide(60.0)               // 6 dB worst case routing
+        .add(Component::OpxcCoupler)            // substrate -> dest die
+        .add(Component::DropFilterPass, 6.0)    // other sites in column
+        .add(Component::DropFilterDrop);        // our wavelength dropped
+    return p;
+}
+
+} // namespace macrosim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Optical link-budget calculator.
+ *
+ * An OpticalPath is an ordered list of components a signal traverses
+ * from modulator to receiver. The calculator sums insertion losses,
+ * computes received power for a given launch power, and checks margin
+ * against the receiver sensitivity — reproducing section 2's "17 dB
+ * un-switched link loss, 4 dB margin" arithmetic.
+ */
+
+#ifndef MACROSIM_PHOTONICS_LINK_BUDGET_HH
+#define MACROSIM_PHOTONICS_LINK_BUDGET_HH
+
+#include <vector>
+
+#include "photonics/components.hh"
+#include "photonics/units.hh"
+
+namespace macrosim
+{
+
+/** One traversed element: a component, possibly repeated. */
+struct PathElement
+{
+    Component component;
+    /**
+     * Multiplicity. For waveguides this is the length in cm (may be
+     * fractional); for everything else an integer traversal count.
+     */
+    double count = 1.0;
+};
+
+/** An ordered optical path from source modulator to receiver. */
+class OpticalPath
+{
+  public:
+    OpticalPath() = default;
+
+    /** Append @p count traversals of @p c; returns *this for chaining. */
+    OpticalPath &
+    add(Component c, double count = 1.0)
+    {
+        elements_.push_back({c, count});
+        return *this;
+    }
+
+    /** Append @p cm centimetres of global routing waveguide. */
+    OpticalPath &
+    addGlobalWaveguide(double cm)
+    {
+        return add(Component::WaveguideGlobal, cm);
+    }
+
+    /** Append @p cm centimetres of local (on-die) waveguide. */
+    OpticalPath &
+    addLocalWaveguide(double cm)
+    {
+        return add(Component::WaveguideLocal, cm);
+    }
+
+    const std::vector<PathElement> &elements() const { return elements_; }
+
+    /** Total insertion loss along the path. */
+    Decibel totalLoss() const;
+
+    /** Received power for a given launch power. */
+    PowerDbm
+    receivedPower(PowerDbm launch = launchPower) const
+    {
+        return launch - totalLoss();
+    }
+
+    /** Margin above receiver sensitivity (negative = link fails). */
+    Decibel
+    margin(PowerDbm launch = launchPower,
+           PowerDbm sensitivity = receiverSensitivity) const
+    {
+        return receivedPower(launch) - sensitivity;
+    }
+
+    /** Whether the link closes with non-negative margin. */
+    bool
+    closes(PowerDbm launch = launchPower,
+           PowerDbm sensitivity = receiverSensitivity) const
+    {
+        return margin(launch, sensitivity).value() >= 0.0;
+    }
+
+    /**
+     * The launch power (and hence laser power) multiplier needed to
+     * close the link relative to @p budget of acceptable loss. This is
+     * the paper's "power loss factor" (Table 5): extra loss beyond the
+     * canonical un-switched budget, as a linear ratio.
+     */
+    double
+    lossFactorBeyond(Decibel budget) const
+    {
+        const Decibel extra = totalLoss() - budget;
+        return extra.value() <= 0.0 ? 1.0 : extra.linear();
+    }
+
+  private:
+    std::vector<PathElement> elements_;
+};
+
+/**
+ * The canonical worst-case un-switched macrochip link of section 2:
+ * modulator, mux, OPxC down to the routing layer, 6 dB of global
+ * waveguide (worst-case site-to-site), OPxC up to the destination,
+ * six non-selected drop-filter passes (the other sites in the
+ * destination column), and the final drop. Total: 17 dB.
+ */
+OpticalPath canonicalUnswitchedLink();
+
+/** Worst-case global-waveguide loss across the macrochip: 6 dB. */
+constexpr Decibel worstCaseWaveguideLoss{6.0};
+
+/** The canonical link-loss budget every network is engineered to. */
+constexpr Decibel unswitchedLinkBudget{17.0};
+
+} // namespace macrosim
+
+#endif // MACROSIM_PHOTONICS_LINK_BUDGET_HH

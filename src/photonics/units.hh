@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Optical power and loss unit types.
+ *
+ * Link budgets mix logarithmic (dB, dBm) and linear (mW) quantities;
+ * getting a sign or a log10 wrong is the classic bug in photonic
+ * power analysis. These small strong types make the arithmetic
+ * self-checking:
+ *
+ *   PowerDbm - PowerDbm -> Decibel        (a ratio)
+ *   PowerDbm - Decibel  -> PowerDbm       (attenuation)
+ *   Decibel  + Decibel  -> Decibel        (cascaded losses)
+ *
+ * while meaningless operations (adding two dBm values) do not compile.
+ */
+
+#ifndef MACROSIM_PHOTONICS_UNITS_HH
+#define MACROSIM_PHOTONICS_UNITS_HH
+
+#include <cmath>
+#include <compare>
+
+namespace macrosim
+{
+
+/** A power ratio in decibels (positive = gain, negative = loss). */
+class Decibel
+{
+  public:
+    Decibel() = default;
+
+    constexpr explicit Decibel(double db) : db_(db) {}
+
+    constexpr double value() const { return db_; }
+
+    /** Linear power ratio: 10 dB -> 10x, -3 dB -> ~0.5x. */
+    double
+    linear() const
+    {
+        return std::pow(10.0, db_ / 10.0);
+    }
+
+    /** Construct from a linear power ratio. */
+    static Decibel
+    fromLinear(double ratio)
+    {
+        return Decibel(10.0 * std::log10(ratio));
+    }
+
+    constexpr Decibel
+    operator+(Decibel other) const
+    {
+        return Decibel(db_ + other.db_);
+    }
+
+    constexpr Decibel
+    operator-(Decibel other) const
+    {
+        return Decibel(db_ - other.db_);
+    }
+
+    constexpr Decibel operator-() const { return Decibel(-db_); }
+
+    constexpr Decibel &
+    operator+=(Decibel other)
+    {
+        db_ += other.db_;
+        return *this;
+    }
+
+    constexpr Decibel
+    operator*(double n) const
+    {
+        return Decibel(db_ * n);
+    }
+
+    constexpr auto operator<=>(const Decibel &) const = default;
+
+  private:
+    double db_ = 0.0;
+};
+
+constexpr Decibel
+operator""_dB(long double v)
+{
+    return Decibel(static_cast<double>(v));
+}
+
+/** Absolute optical power on the dBm scale (0 dBm = 1 mW). */
+class PowerDbm
+{
+  public:
+    PowerDbm() = default;
+
+    constexpr explicit PowerDbm(double dbm) : dbm_(dbm) {}
+
+    constexpr double value() const { return dbm_; }
+
+    double
+    milliwatts() const
+    {
+        return std::pow(10.0, dbm_ / 10.0);
+    }
+
+    static PowerDbm
+    fromMilliwatts(double mw)
+    {
+        return PowerDbm(10.0 * std::log10(mw));
+    }
+
+    /** Attenuate (or amplify) by a ratio. */
+    constexpr PowerDbm
+    operator-(Decibel loss) const
+    {
+        return PowerDbm(dbm_ - loss.value());
+    }
+
+    constexpr PowerDbm
+    operator+(Decibel gain) const
+    {
+        return PowerDbm(dbm_ + gain.value());
+    }
+
+    /** The ratio between two absolute powers. */
+    constexpr Decibel
+    operator-(PowerDbm other) const
+    {
+        return Decibel(dbm_ - other.dbm_);
+    }
+
+    /** Negation, so that -21.0_dBm parses as expected. */
+    constexpr PowerDbm operator-() const { return PowerDbm(-dbm_); }
+
+    constexpr auto operator<=>(const PowerDbm &) const = default;
+
+  private:
+    double dbm_ = 0.0;
+};
+
+constexpr PowerDbm
+operator""_dBm(long double v)
+{
+    return PowerDbm(static_cast<double>(v));
+}
+
+/** Energy per bit in femtojoules, used for transceiver accounting. */
+struct FemtojoulesPerBit
+{
+    double value = 0.0;
+};
+
+/** Electrical power in milliwatts (tuning, receiver bias, switches). */
+struct Milliwatts
+{
+    double value = 0.0;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_PHOTONICS_UNITS_HH

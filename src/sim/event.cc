@@ -1,0 +1,60 @@
+#include "sim/event.hh"
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_) {
+        panic("EventQueue::schedule: tried to schedule at tick ", when,
+              " which is before now (", now_, ")");
+    }
+    const EventId id = nextId_++;
+    queue_.push(Entry{when, nextSeq_++, id, std::move(cb)});
+    pending_.insert(id);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // Cancellation is lazy: the entry stays queued but is skipped when
+    // popped, because its id is no longer in pending_.
+    return pending_.erase(id) == 1;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!queue_.empty()) {
+        // priority_queue::top() is const; move out via const_cast is
+        // the standard workaround, safe because we pop immediately.
+        Entry entry = std::move(const_cast<Entry &>(queue_.top()));
+        queue_.pop();
+        if (pending_.erase(entry.id) == 0)
+            continue; // cancelled
+        now_ = entry.when;
+        ++executed_;
+        entry.cb();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t ran = 0;
+    while (!queue_.empty()) {
+        if (queue_.top().when > limit)
+            break;
+        if (runOne())
+            ++ran;
+    }
+    return ran;
+}
+
+} // namespace macrosim

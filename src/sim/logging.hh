@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers, in the spirit of gem5's
+ * logging.hh.
+ *
+ * panic()  -- an internal simulator invariant was violated; aborts.
+ * fatal()  -- the user asked for something unsatisfiable; throws
+ *             FatalError so library users (and tests) can recover.
+ * warn()   -- something is suspicious but simulation continues.
+ * inform() -- plain status output.
+ */
+
+#ifndef MACROSIM_SIM_LOGGING_HH
+#define MACROSIM_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace macrosim
+{
+
+/** Thrown by fatal(): a user-level configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+namespace detail
+{
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a message: a simulator bug, never a user error. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl("", 0, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Throw FatalError: the configuration or input is unusable. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning to stderr; simulation continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a status message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Quiet mode suppresses warn()/inform() output (used by tests). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace macrosim
+
+#endif // MACROSIM_SIM_LOGGING_HH

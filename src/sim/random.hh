@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A self-contained xoshiro256++ implementation so that results do not
+ * depend on the standard library's unspecified distribution algorithms.
+ * Every stochastic element of a simulation draws from one Rng seeded at
+ * construction, making runs bit-reproducible across platforms.
+ */
+
+#ifndef MACROSIM_SIM_RANDOM_HH
+#define MACROSIM_SIM_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace macrosim
+{
+
+/** xoshiro256++ generator (Blackman & Vigna), seeded via splitmix64. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0. Unbiased (rejection). */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Exponentially distributed value with the given mean. Used for
+     * Poisson (memoryless) packet inter-arrival times in the open-loop
+     * injector.
+     */
+    double exponential(double mean);
+
+    /** Geometric number of trials until success, probability p > 0. */
+    std::uint64_t geometric(double p);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_SIM_RANDOM_HH

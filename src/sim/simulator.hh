@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Simulator: the top-level container tying together an event queue and
+ * a root random-number generator.
+ *
+ * Every experiment builds one Simulator, constructs model objects that
+ * hold a reference to it, and calls run(). There are no globals, so
+ * benches can run hundreds of independent simulations in one process.
+ */
+
+#ifndef MACROSIM_SIM_SIMULATOR_HH
+#define MACROSIM_SIM_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "sim/event.hh"
+#include "sim/random.hh"
+#include "sim/ticks.hh"
+
+namespace macrosim
+{
+
+class Simulator
+{
+  public:
+    explicit Simulator(std::uint64_t seed = 1)
+        : rng_(seed)
+    {}
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    EventQueue &events() { return events_; }
+    Rng &rng() { return rng_; }
+
+    Tick now() const { return events_.now(); }
+
+    /**
+     * Run until the event queue drains or time reaches @p limit.
+     * @return Number of events executed.
+     */
+    std::uint64_t
+    run(Tick limit = maxTick)
+    {
+        return events_.runUntil(limit);
+    }
+
+  private:
+    EventQueue events_;
+    Rng rng_;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_SIM_SIMULATOR_HH

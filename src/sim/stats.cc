@@ -1,0 +1,117 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+void
+Accumulator::sample(double x)
+{
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      bins_(buckets, 0)
+{
+    if (hi <= lo || buckets == 0)
+        fatal("Histogram: invalid range [", lo, ", ", hi, ") with ",
+              buckets, " buckets");
+}
+
+void
+Histogram::sample(double x)
+{
+    ++total_;
+    acc_.sample(x);
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+        ++bins_[std::min(idx, bins_.size() - 1)];
+    }
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total_);
+    double running = static_cast<double>(underflow_);
+    if (running >= target && underflow_ > 0)
+        return lo_;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        const double in_bin = static_cast<double>(bins_[i]);
+        if (running + in_bin >= target && in_bin > 0) {
+            const double frac = (target - running) / in_bin;
+            return lo_ + (static_cast<double>(i) + frac) * width_;
+        }
+        running += in_bin;
+    }
+    return hi_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+    acc_.reset();
+}
+
+void
+StatGroup::addCounter(std::string name, const Counter &c)
+{
+    add(std::move(name), &c, [](const void *p) {
+        return static_cast<double>(static_cast<const Counter *>(p)
+                                       ->value());
+    });
+}
+
+void
+StatGroup::addMean(std::string name, const Accumulator &a)
+{
+    add(std::move(name), &a, [](const void *p) {
+        return static_cast<const Accumulator *>(p)->mean();
+    });
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &e : entries_)
+        os << e.name << " " << e.getter(e.obj) << "\n";
+}
+
+void
+StatGroup::dumpCsv(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        os << entries_[i].name << (i + 1 < entries_.size() ? "," : "\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        os << entries_[i].getter(entries_[i].obj)
+           << (i + 1 < entries_.size() ? "," : "\n");
+    }
+}
+
+} // namespace macrosim

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Statistics package: counters, accumulators, histograms, and a named
+ * registry that can dump everything to a stream or CSV.
+ *
+ * Modelled loosely on gem5's stats: each SimObject owns stats and
+ * registers them in a StatGroup so harnesses can report uniformly.
+ */
+
+#ifndef MACROSIM_SIM_STATS_HH
+#define MACROSIM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace macrosim
+{
+
+/** A monotonically increasing scalar count. */
+class Counter
+{
+  public:
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Streaming summary of a sample set: count, sum, min, max, mean and
+ * (population) variance via Welford's algorithm.
+ */
+class Accumulator
+{
+  public:
+    void sample(double x);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double variance() const { return count_ ? m2_ / count_ : 0.0; }
+    double stddev() const;
+
+    void reset() { *this = Accumulator(); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Fixed-width linear histogram with overflow bucket; supports quantile
+ * estimation (linear interpolation within a bucket).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the first bucket.
+     * @param hi Upper bound of the last regular bucket.
+     * @param buckets Number of regular buckets (>=1).
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void sample(double x);
+
+    std::uint64_t count() const { return total_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t underflow() const { return underflow_; }
+    double mean() const { return acc_.mean(); }
+    double max() const { return acc_.max(); }
+
+    /** Quantile in [0,1]; returns hi bound if q lands in overflow. */
+    double quantile(double q) const;
+
+    const std::vector<std::uint64_t> &buckets() const { return bins_; }
+    double bucketWidth() const { return width_; }
+    double lo() const { return lo_; }
+
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    Accumulator acc_;
+};
+
+/**
+ * A named collection of stats for reporting. Objects register
+ * name/value pairs lazily through a snapshot visitor so the group
+ * never dangles: values are pulled at dump time from callables.
+ */
+class StatGroup
+{
+  public:
+    using Getter = double (*)(const void *);
+
+    /** Register a stat by name with a pull-callback. */
+    void
+    add(std::string name, const void *obj, Getter getter)
+    {
+        entries_.push_back({std::move(name), obj, getter});
+    }
+
+    void addCounter(std::string name, const Counter &c);
+    void addMean(std::string name, const Accumulator &a);
+
+    /** Write "name value" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Write a single CSV row of values, preceded by a header row. */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        const void *obj;
+        Getter getter;
+    };
+    std::vector<Entry> entries_;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_SIM_STATS_HH

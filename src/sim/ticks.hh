@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * The simulator counts time in integer ticks of one picosecond. All
+ * latency parameters in the macrochip model (waveguide propagation at
+ * 0.1 ns/cm, 5 GHz clock cycles of 0.2 ns, 0.4 ns arbitration slots,
+ * 20 Gb/s serialization) are exact multiples of 1 ps, so tick
+ * arithmetic is exact and runs are bit-reproducible.
+ */
+
+#ifndef MACROSIM_SIM_TICKS_HH
+#define MACROSIM_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace macrosim
+{
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A tick value larger than any reachable simulation time. */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Ticks per common time units. */
+constexpr Tick tickPs = 1;
+constexpr Tick tickNs = 1000;
+constexpr Tick tickUs = 1000 * tickNs;
+constexpr Tick tickMs = 1000 * tickUs;
+
+/** Convert ticks to (floating-point) nanoseconds for reporting. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickNs);
+}
+
+/** Convert a (non-negative) nanosecond count to ticks, rounding. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(tickNs) + 0.5);
+}
+
+/**
+ * An integer count of clock cycles. Distinct from Tick so that cycle
+ * and tick quantities cannot be mixed accidentally.
+ */
+class Cycles
+{
+  public:
+    Cycles() = default;
+
+    constexpr explicit Cycles(std::uint64_t c) : count_(c) {}
+
+    constexpr std::uint64_t count() const { return count_; }
+
+    constexpr Cycles
+    operator+(Cycles other) const
+    {
+        return Cycles(count_ + other.count_);
+    }
+
+    constexpr bool operator==(const Cycles &) const = default;
+    constexpr auto operator<=>(const Cycles &) const = default;
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A clock domain: converts between cycles and ticks.
+ *
+ * The macrochip runs mesochronously at a single frequency (5 GHz for
+ * the 2015-era Niagara-derived cores, section 3 of the paper), but the
+ * clock period is a parameter so experiments can sweep it.
+ */
+class ClockDomain
+{
+  public:
+    /** @param period_ticks Length of one cycle in ticks (ps). */
+    constexpr explicit ClockDomain(Tick period_ticks)
+        : period_(period_ticks)
+    {}
+
+    constexpr Tick period() const { return period_; }
+
+    constexpr double
+    frequencyGhz() const
+    {
+        return 1000.0 / static_cast<double>(period_);
+    }
+
+    constexpr Tick
+    cyclesToTicks(Cycles c) const
+    {
+        return c.count() * period_;
+    }
+
+    /** Number of whole cycles fully elapsed at time @p t. */
+    constexpr Cycles
+    ticksToCycles(Tick t) const
+    {
+        return Cycles(t / period_);
+    }
+
+    /** The first cycle boundary at or after @p t. */
+    constexpr Tick
+    nextEdgeAtOrAfter(Tick t) const
+    {
+        const Tick rem = t % period_;
+        return rem == 0 ? t : t + (period_ - rem);
+    }
+
+  private:
+    Tick period_;
+};
+
+/** The macrochip system clock: 5 GHz, i.e. a 200 ps cycle. */
+constexpr ClockDomain systemClock{200};
+
+} // namespace macrosim
+
+#endif // MACROSIM_SIM_TICKS_HH

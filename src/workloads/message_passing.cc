@@ -1,0 +1,210 @@
+#include "workloads/message_passing.hh"
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+std::string_view
+to_string(Collective c)
+{
+    switch (c) {
+      case Collective::HaloExchange: return "halo-exchange";
+      case Collective::AllToAll: return "all-to-all";
+      case Collective::AllReduce: return "all-reduce";
+    }
+    return "?";
+}
+
+MessagePassingSystem::MessagePassingSystem(Simulator &sim,
+                                           Network &net,
+                                           const MpiWorkloadSpec &spec)
+    : sim_(sim), net_(net), spec_(spec),
+      ranks_(net.config().siteCount())
+{
+    const std::uint32_t sites = net_.config().siteCount();
+    if (spec_.collective == Collective::AllReduce) {
+        while ((1u << rounds_) < sites)
+            ++rounds_;
+        if ((1u << rounds_) != sites)
+            fatal("MessagePassingSystem: all-reduce needs a "
+                  "power-of-two rank count, got ", sites);
+    }
+    for (SiteId s = 0; s < sites; ++s) {
+        net_.setDeliveryHandler(s, [this](const Message &m) {
+            onDelivery(m);
+        });
+    }
+}
+
+std::vector<SiteId>
+MessagePassingSystem::peersOf(SiteId rank) const
+{
+    const MacrochipGeometry &geom = net_.geometry();
+    const SiteCoord c = geom.coordOf(rank);
+    const std::uint32_t rows = geom.rows();
+    const std::uint32_t cols = geom.cols();
+    switch (spec_.collective) {
+      case Collective::HaloExchange:
+        return {geom.idOf({c.row, (c.col + 1) % cols}),
+                geom.idOf({c.row, (c.col + cols - 1) % cols}),
+                geom.idOf({(c.row + 1) % rows, c.col}),
+                geom.idOf({(c.row + rows - 1) % rows, c.col})};
+      case Collective::AllToAll: {
+        std::vector<SiteId> peers;
+        peers.reserve(geom.siteCount() - 1);
+        for (SiteId d = 0; d < geom.siteCount(); ++d) {
+            if (d != rank)
+                peers.push_back(d);
+        }
+        return peers;
+      }
+      case Collective::AllReduce:
+        // Handled per round; not used here.
+        return {};
+    }
+    return {};
+}
+
+MpiResult
+MessagePassingSystem::run()
+{
+    iteration_ = 0;
+    startIteration();
+    sim_.run();
+
+    MpiResult res;
+    res.collective = std::string(to_string(spec_.collective));
+    res.network = std::string(net_.name());
+    res.iterations = spec_.iterations;
+    res.runtime = sim_.now();
+    res.messages = messages_;
+    return res;
+}
+
+void
+MessagePassingSystem::startIteration()
+{
+    if (iteration_ >= spec_.iterations)
+        return;
+    finishedRanks_ = 0;
+    for (auto &r : ranks_) {
+        r.pendingRecvs = 0;
+        r.round = 0;
+        r.banked.assign(rounds_, 0);
+        r.doneThisIteration = false;
+    }
+    // All ranks compute, then enter their communication phase.
+    sim_.events().scheduleAfter(spec_.computeTime, [this] {
+        for (SiteId s = 0; s < net_.config().siteCount(); ++s)
+            startCommPhase(s);
+    });
+}
+
+void
+MessagePassingSystem::startCommPhase(SiteId rank)
+{
+    Rank &r = ranks_[rank];
+    if (spec_.collective == Collective::AllReduce) {
+        r.round = 0;
+        startAllReduceRound(rank);
+        return;
+    }
+    const std::vector<SiteId> peers = peersOf(rank);
+    // Symmetric collectives: expect one message from each peer.
+    r.pendingRecvs = static_cast<std::uint32_t>(peers.size());
+    for (const SiteId d : peers) {
+        Message m;
+        m.src = rank;
+        m.dst = d;
+        m.bytes = spec_.messageBytes;
+        m.cookie = iteration_;
+        ++messages_;
+        net_.inject(std::move(m));
+    }
+}
+
+void
+MessagePassingSystem::startAllReduceRound(SiteId rank)
+{
+    Rank &r = ranks_[rank];
+    if (r.round >= rounds_) {
+        rankFinished(rank);
+        return;
+    }
+    // Send this round's half of the pairwise exchange, then advance
+    // through any rounds whose partner message has already arrived
+    // (partners may run ahead of each other).
+    for (;;) {
+        Message m;
+        m.src = rank;
+        m.dst = rank ^ (SiteId{1} << r.round);
+        m.bytes = spec_.messageBytes;
+        m.cookie = (static_cast<std::uint64_t>(iteration_) << 8)
+            | r.round;
+        ++messages_;
+        net_.inject(std::move(m));
+
+        if (r.banked[r.round] == 0)
+            return; // wait for the partner's message
+        --r.banked[r.round];
+        ++r.round;
+        if (r.round >= rounds_) {
+            rankFinished(rank);
+            return;
+        }
+    }
+}
+
+void
+MessagePassingSystem::onDelivery(const Message &msg)
+{
+    Rank &r = ranks_[msg.dst];
+
+    if (spec_.collective == Collective::AllReduce) {
+        const auto iter = static_cast<std::uint32_t>(msg.cookie >> 8);
+        const auto round = static_cast<std::uint32_t>(msg.cookie
+                                                      & 0xff);
+        if (iter != iteration_)
+            panic("MessagePassingSystem: all-reduce message from "
+                  "iteration ", iter, " during iteration ",
+                  iteration_);
+        ++r.banked[round];
+        // Only a message for the rank's *current* round unblocks it.
+        if (round != r.round || r.banked[r.round] == 0)
+            return;
+        --r.banked[r.round];
+        ++r.round;
+        startAllReduceRound(msg.dst);
+        return;
+    }
+
+    if (msg.cookie != iteration_) {
+        // A straggler from a previous iteration can only occur if the
+        // barrier logic is broken.
+        panic("MessagePassingSystem: message from iteration ",
+              msg.cookie, " delivered during iteration ", iteration_);
+    }
+    if (r.pendingRecvs == 0)
+        panic("MessagePassingSystem: unexpected message at rank ",
+              msg.dst);
+    if (--r.pendingRecvs > 0)
+        return;
+    rankFinished(msg.dst);
+}
+
+void
+MessagePassingSystem::rankFinished(SiteId rank)
+{
+    Rank &r = ranks_[rank];
+    if (r.doneThisIteration)
+        panic("MessagePassingSystem: rank ", rank, " finished twice");
+    r.doneThisIteration = true;
+    if (++finishedRanks_ == ranks_.size()) {
+        // Global barrier reached; next iteration.
+        ++iteration_;
+        startIteration();
+    }
+}
+
+} // namespace macrosim

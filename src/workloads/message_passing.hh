@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Message-passing workloads (the paper's section 8 future work:
+ * "Future work will evaluate network architectures for message
+ * passing workloads").
+ *
+ * Three classic collectives run bulk-synchronously, one rank per
+ * site, over any macrochip network:
+ *
+ *  - HaloExchange: 2D stencil boundary exchange with the four grid
+ *    neighbors (toroidal), the communication pattern of iterative
+ *    PDE solvers. Maps perfectly onto the limited point-to-point
+ *    network's row/column links.
+ *  - AllToAll: personalized all-to-all (FFT / sample-sort
+ *    transpose): every rank sends a distinct block to every other
+ *    rank each iteration. The heaviest uniform load.
+ *  - AllReduce: recursive-doubling reduction; log2(sites) rounds of
+ *    pairwise exchanges with strictly sequential round dependencies
+ *    per rank — latency-bound one-to-one traffic in every round,
+ *    the worst case for token and circuit-switched arbitration.
+ *
+ * Each iteration is: a fixed compute phase, then the collective's
+ * messages, then a global barrier. The per-iteration time against
+ * each network is the figure of merit.
+ */
+
+#ifndef MACROSIM_WORKLOADS_MESSAGE_PASSING_HH
+#define MACROSIM_WORKLOADS_MESSAGE_PASSING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.hh"
+
+namespace macrosim
+{
+
+enum class Collective
+{
+    HaloExchange,
+    AllToAll,
+    AllReduce,
+};
+
+std::string_view to_string(Collective c);
+
+struct MpiWorkloadSpec
+{
+    Collective collective = Collective::HaloExchange;
+    /** Payload bytes per point-to-point message. */
+    std::uint32_t messageBytes = 1024;
+    /** Compute time per rank per iteration. */
+    Tick computeTime = 200 * tickNs;
+    std::uint32_t iterations = 10;
+};
+
+struct MpiResult
+{
+    std::string collective;
+    std::string network;
+    std::uint32_t iterations = 0;
+    Tick runtime = 0;
+    std::uint64_t messages = 0;
+
+    double
+    nsPerIteration() const
+    {
+        return iterations > 0
+            ? ticksToNs(runtime) / static_cast<double>(iterations)
+            : 0.0;
+    }
+
+    /** Communication time per iteration, net of compute. */
+    double
+    commNsPerIteration(Tick compute) const
+    {
+        return nsPerIteration() - ticksToNs(compute);
+    }
+};
+
+class MessagePassingSystem
+{
+  public:
+    MessagePassingSystem(Simulator &sim, Network &net,
+                         const MpiWorkloadSpec &spec);
+
+    /** Run all iterations to completion. */
+    MpiResult run();
+
+  private:
+    struct Rank
+    {
+        /** Messages still missing before this rank's comm phase
+         *  completes (halo / all-to-all). */
+        std::uint32_t pendingRecvs = 0;
+        /** Current all-reduce round (log2(sites) rounds total). */
+        std::uint32_t round = 0;
+        /** All-reduce messages received per round; a partner may run
+         *  ahead, so early arrivals are banked until this rank
+         *  reaches that round. */
+        std::vector<std::uint32_t> banked;
+        bool doneThisIteration = false;
+    };
+
+    void startIteration();
+    void startCommPhase(SiteId rank);
+    void onDelivery(const Message &msg);
+    void rankFinished(SiteId rank);
+
+    /** Kick off one all-reduce round's exchange for @p rank. */
+    void startAllReduceRound(SiteId rank);
+
+    std::vector<SiteId> peersOf(SiteId rank) const;
+
+    Simulator &sim_;
+    Network &net_;
+    MpiWorkloadSpec spec_;
+    std::uint32_t rounds_ = 0; ///< log2(sites) for all-reduce.
+    std::uint32_t iteration_ = 0;
+    std::uint32_t finishedRanks_ = 0;
+    std::uint64_t messages_ = 0;
+    std::vector<Rank> ranks_;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_WORKLOADS_MESSAGE_PASSING_HH

@@ -1,0 +1,105 @@
+#include "workloads/packet_injector.hh"
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+namespace
+{
+
+struct InjectorState
+{
+    InjectorState(Simulator &sim_in, Network &net_in,
+                  const InjectorConfig &cfg_in)
+        : sim(sim_in), net(net_in), cfg(cfg_in), rng(cfg_in.seed),
+          dests(cfg_in.pattern, net_in.geometry())
+    {}
+
+    Simulator &sim;
+    Network &net;
+    InjectorConfig cfg;
+    Rng rng;
+    DestinationGenerator dests;
+
+    Tick stopAt = 0;
+    Accumulator latencyNs;
+    Histogram latencyHist{0.0, 4000.0, 80000}; // 50 ps buckets
+    std::uint64_t measuredPackets = 0;
+    std::uint64_t windowBytes = 0;
+
+    double
+    meanGapPs() const
+    {
+        const double rate_bytes_per_ns =
+            cfg.load * net.config().siteBandwidthBytesPerNs();
+        return static_cast<double>(cfg.packetBytes)
+            / rate_bytes_per_ns * 1000.0;
+    }
+
+    void
+    scheduleNext(SiteId src)
+    {
+        const Tick gap = static_cast<Tick>(
+            rng.exponential(meanGapPs()) + 0.5);
+        const Tick when = sim.now() + std::max<Tick>(gap, 1);
+        if (when >= stopAt)
+            return;
+        sim.events().schedule(when, [this, src] {
+            Message m;
+            m.src = src;
+            m.dst = dests.next(src, rng);
+            m.bytes = cfg.packetBytes;
+            // Mark packets created inside the measurement window.
+            m.cookie = (sim.now() >= cfg.warmup) ? 1 : 0;
+            net.inject(m);
+            scheduleNext(src);
+        });
+    }
+};
+
+} // namespace
+
+InjectorResult
+runOpenLoop(Simulator &sim, Network &net, const InjectorConfig &cfg)
+{
+    if (cfg.load <= 0.0 || cfg.load > 1.5)
+        fatal("runOpenLoop: offered load ", cfg.load,
+              " outside (0, 1.5]");
+
+    InjectorState st(sim, net, cfg);
+    st.stopAt = sim.now() + cfg.warmup + cfg.window;
+    const Tick window_start = sim.now() + cfg.warmup;
+
+    net.setDefaultHandler([&st, window_start](const Message &m) {
+        if (m.cookie == 1) {
+            const double lat_ns = ticksToNs(m.latency());
+            st.latencyNs.sample(lat_ns);
+            st.latencyHist.sample(lat_ns);
+            ++st.measuredPackets;
+        }
+        if (m.delivered >= window_start && m.delivered < st.stopAt)
+            st.windowBytes += m.bytes;
+    });
+
+    for (SiteId s = 0; s < net.config().siteCount(); ++s)
+        st.scheduleNext(s);
+
+    sim.run(); // injection self-terminates at stopAt; then drain
+
+    InjectorResult res;
+    res.offeredLoadPct = cfg.load * 100.0;
+    res.meanLatencyNs = st.latencyNs.mean();
+    res.maxLatencyNs = st.latencyNs.max();
+    res.p50LatencyNs = st.latencyHist.quantile(0.5);
+    res.p99LatencyNs = st.latencyHist.quantile(0.99);
+    res.measuredPackets = st.measuredPackets;
+    const double window_ns = ticksToNs(cfg.window);
+    res.deliveredBytesPerNsPerSite = static_cast<double>(st.windowBytes)
+        / window_ns / net.config().siteCount();
+    res.deliveredPct = res.deliveredBytesPerNsPerSite
+        / net.config().siteBandwidthBytesPerNs() * 100.0;
+    return res;
+}
+
+} // namespace macrosim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the section 6.4 scalability/complexity analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/analysis.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+TEST(Analysis, AllSixNetworksReported)
+{
+    const auto rows = analyzeAllNetworks(simulatedConfig());
+    ASSERT_EQ(rows.size(), 6u);
+    EXPECT_EQ(rows[0].network, "Token Ring");
+    EXPECT_EQ(rows[2].network, "Point-to-Point");
+    for (const auto &r : rows) {
+        EXPECT_EQ(r.sites, 64u);
+        EXPECT_GT(r.peakTBs, 20.0);
+        EXPECT_GT(r.laserWatts, 0.0);
+        EXPECT_GT(r.counts.transmitters, 0u);
+    }
+}
+
+TEST(Analysis, WdmScalingLeavesP2PWaveguidesUnchanged)
+{
+    // Section 6.4: doubling the WDM factor (and transmitters to use
+    // it) doubles point-to-point peak bandwidth with the same number
+    // of waveguides.
+    MacrochipConfig narrow = simulatedConfig();
+    MacrochipConfig wide = simulatedConfig();
+    wide.wavelengthsPerWaveguide = 16;
+    wide.txPerSite = 256;
+    wide.rxPerSite = 256;
+
+    const auto a = analyzeAllNetworks(narrow);
+    const auto b = analyzeAllNetworks(wide);
+    // Point-to-point: 2x bandwidth, same waveguides.
+    EXPECT_NEAR(b[2].peakTBs, 2.0 * a[2].peakTBs, 1e-9);
+    EXPECT_EQ(b[2].counts.waveguides, a[2].counts.waveguides);
+    EXPECT_LT(b[2].waveguidesPerTBs(), a[2].waveguidesPerTBs());
+}
+
+TEST(Analysis, ElectronicP2PGrowsQuadratically)
+{
+    // A 64-site electronic full mesh at even 16 bits per link needs
+    // ~64k wires; 256 sites push it over a million.
+    EXPECT_EQ(electronicPointToPointWires(64, 16), 64512u);
+    EXPECT_EQ(electronicPointToPointWires(256, 16), 1044480u);
+    // Quadratic: 4x the sites, ~16x the wires.
+    const double ratio =
+        static_cast<double>(electronicPointToPointWires(256, 16))
+        / static_cast<double>(electronicPointToPointWires(64, 16));
+    EXPECT_NEAR(ratio, 16.0, 0.3);
+}
+
+TEST(Analysis, PhotonicP2PWaveguidesGrowSubQuadratically)
+{
+    // The optical point-to-point's waveguide count grows only
+    // linearly in sites (WDM absorbs the fan-out), the paper's
+    // central complexity claim.
+    MacrochipConfig small = simulatedConfig(); // 64 sites
+    MacrochipConfig big = simulatedConfig();
+    big.rows = 16;
+    big.cols = 16; // 256 sites
+    big.txPerSite = 512; // keep 2 lambdas per destination
+    big.rxPerSite = 512;
+
+    const auto a = analyzeAllNetworks(small);
+    const auto b = analyzeAllNetworks(big);
+    const double wg_ratio =
+        static_cast<double>(b[2].counts.waveguides)
+        / static_cast<double>(a[2].counts.waveguides);
+    // 4x sites with 4x transmitters: waveguides grow ~16x... per
+    // *chip*, but per unit bandwidth they stay flat, unlike the
+    // electronic mesh whose wires-per-bandwidth grows with sites.
+    const double bw_ratio = b[2].peakTBs / a[2].peakTBs;
+    EXPECT_NEAR(wg_ratio, bw_ratio, 1e-9);
+}
+
+TEST(Analysis, WaveguideAreaIsPlausible)
+{
+    // Point-to-point on the 20 cm Table 4 macrochip: 3072 waveguides
+    // x 20 cm x 10 um pitch = 61.4 cm^2, about 15% of the 400 cm^2
+    // substrate.
+    const auto rows = analyzeAllNetworks(simulatedConfig());
+    const auto &p2p = rows[2];
+    EXPECT_DOUBLE_EQ(p2p.chipEdgeCm, 20.0);
+    EXPECT_NEAR(p2p.waveguideAreaCm2(), 61.44, 0.01);
+    EXPECT_NEAR(p2p.substrateFraction(), 0.154, 0.01);
+    // The token ring's area-equivalent 32K waveguides would consume
+    // more than the whole substrate edge-to-edge: the section 6.4
+    // area pressure, quantified.
+    const auto &ring = rows[0];
+    EXPECT_GT(ring.substrateFraction(), 1.0);
+    // Every network's area ordering mirrors its waveguide count.
+    for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+        if (rows[i].counts.waveguides
+            < rows[i + 1].counts.waveguides) {
+            EXPECT_LT(rows[i].waveguideAreaCm2(),
+                      rows[i + 1].waveguideAreaCm2());
+        }
+    }
+}
+
+TEST(Analysis, SwitchlessNetworksStaySwitchless)
+{
+    for (const auto &r : analyzeAllNetworks(simulatedConfig())) {
+        if (r.network == "Point-to-Point"
+            || r.network == "Token Ring") {
+            EXPECT_EQ(r.counts.opticalSwitches, 0u) << r.network;
+        }
+    }
+}
+
+TEST(Analysis, FullScaleConfigScales)
+{
+    // The section 3 full-scale system: 1024 Tx/site, 16 lambdas per
+    // waveguide, 160+ TB/s.
+    const auto rows = analyzeAllNetworks(fullScaleConfig());
+    EXPECT_GT(rows[2].peakTBs, 160.0);
+    // Point-to-point channels become 16 wavelengths = 40 GB/s each.
+    EXPECT_EQ(rows[2].counts.transmitters, 65536u);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/cache.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+constexpr std::uint32_t kLine = 64;
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(SetAssocCache(1000, 8, 64), FatalError);
+    EXPECT_THROW(SetAssocCache(1024, 0, 64), FatalError);
+    EXPECT_THROW(SetAssocCache(1024, 8, 0), FatalError);
+}
+
+TEST(Cache, GeometryDerivation)
+{
+    SetAssocCache c(256 * 1024, 8, kLine);
+    EXPECT_EQ(c.sets(), 512u);
+    EXPECT_EQ(c.ways(), 8u);
+    EXPECT_EQ(c.lineBytes(), kLine);
+}
+
+TEST(Cache, MissThenHit)
+{
+    SetAssocCache c(8 * 1024, 4, kLine);
+    EXPECT_FALSE(c.probe(0x1000).has_value());
+    EXPECT_FALSE(c.touch(0x1000));
+    c.install(0x1000, CacheState::Shared);
+    EXPECT_TRUE(c.touch(0x1000));
+    EXPECT_EQ(c.probe(0x1000), CacheState::Shared);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetHits)
+{
+    SetAssocCache c(8 * 1024, 4, kLine);
+    c.install(0x1000, CacheState::Exclusive);
+    EXPECT_TRUE(c.touch(0x1004));
+    EXPECT_TRUE(c.touch(0x103F));
+    EXPECT_FALSE(c.touch(0x1040)); // next line
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 2-set cache: lines 0x000, 0x100, 0x200 map to set 0
+    // (line 64B, 2 sets -> set stride 128B).
+    SetAssocCache c(256, 2, kLine);
+    ASSERT_EQ(c.sets(), 2u);
+    c.install(0x000, CacheState::Shared);
+    c.install(0x100, CacheState::Shared);
+    c.touch(0x000); // make 0x100 the LRU
+    auto res = c.install(0x200, CacheState::Shared);
+    ASSERT_TRUE(res.evicted.has_value());
+    EXPECT_EQ(*res.evicted, 0x100u);
+    EXPECT_FALSE(res.writeback.has_value()); // clean eviction
+    EXPECT_TRUE(c.probe(0x000).has_value());
+    EXPECT_FALSE(c.probe(0x100).has_value());
+}
+
+TEST(Cache, DirtyEvictionRequestsWriteback)
+{
+    SetAssocCache c(256, 2, kLine);
+    c.install(0x000, CacheState::Modified);
+    c.install(0x100, CacheState::Owned);
+    auto res = c.install(0x200, CacheState::Shared);
+    ASSERT_TRUE(res.writeback.has_value());
+    EXPECT_EQ(*res.writeback, 0x000u); // LRU was the Modified line
+}
+
+TEST(Cache, InstallOverResidentLineUpdatesState)
+{
+    SetAssocCache c(8 * 1024, 4, kLine);
+    c.install(0x1000, CacheState::Shared);
+    auto res = c.install(0x1000, CacheState::Modified);
+    EXPECT_TRUE(res.hit);
+    EXPECT_FALSE(res.evicted.has_value());
+    EXPECT_EQ(c.probe(0x1000), CacheState::Modified);
+}
+
+TEST(Cache, SetStateAndInvalidate)
+{
+    SetAssocCache c(8 * 1024, 4, kLine);
+    EXPECT_FALSE(c.setState(0x1000, CacheState::Shared));
+    c.install(0x1000, CacheState::Exclusive);
+    EXPECT_TRUE(c.setState(0x1000, CacheState::Owned));
+    auto prev = c.invalidate(0x1000);
+    EXPECT_EQ(prev, CacheState::Owned);
+    EXPECT_FALSE(c.probe(0x1000).has_value());
+    EXPECT_FALSE(c.invalidate(0x1000).has_value());
+}
+
+TEST(Cache, InvalidLinesPreferredOverEviction)
+{
+    SetAssocCache c(256, 2, kLine);
+    c.install(0x000, CacheState::Modified);
+    auto res = c.install(0x200, CacheState::Shared);
+    // Second way was free; nothing evicted.
+    EXPECT_FALSE(res.evicted.has_value());
+    EXPECT_TRUE(c.probe(0x000).has_value());
+    EXPECT_TRUE(c.probe(0x200).has_value());
+}
+
+TEST(Cache, DistinctSetsDoNotInterfere)
+{
+    SetAssocCache c(256, 2, kLine);
+    c.install(0x000, CacheState::Shared); // set 0
+    c.install(0x040, CacheState::Shared); // set 1
+    c.install(0x0C0, CacheState::Shared); // set 1
+    c.install(0x140, CacheState::Shared); // set 1: evicts from set 1
+    EXPECT_TRUE(c.probe(0x000).has_value());
+}
+
+TEST(CacheStateHelpers, Predicates)
+{
+    EXPECT_TRUE(isDirty(CacheState::Modified));
+    EXPECT_TRUE(isDirty(CacheState::Owned));
+    EXPECT_FALSE(isDirty(CacheState::Shared));
+    EXPECT_TRUE(canWrite(CacheState::Exclusive));
+    EXPECT_FALSE(canWrite(CacheState::Owned));
+    EXPECT_TRUE(canRead(CacheState::Shared));
+    EXPECT_FALSE(canRead(CacheState::Invalid));
+}
+
+} // namespace

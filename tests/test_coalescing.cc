@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for requester-side MSHR coalescing: concurrent same-line
+ * misses from one site merge into a single transaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/pt2pt.hh"
+#include "workloads/coherence.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+struct CoalesceFixture : public ::testing::Test
+{
+    CoalesceFixture()
+        : sim(3), net(sim, simulatedConfig()), eng(sim, net, true)
+    {}
+
+    Simulator sim;
+    PointToPointNetwork net;
+    CoherenceEngine eng;
+};
+
+TEST_F(CoalesceFixture, SecondReadAttachesToPendingRead)
+{
+    int done_a = 0, done_b = 0;
+    const auto a = eng.startAccess(3, 0x4000, MemOp::Read,
+                                   [&](TxnId, Tick) { ++done_a; });
+    const auto b = eng.startAccess(3, 0x4000, MemOp::Read,
+                                   [&](TxnId, Tick) { ++done_b; });
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, *b); // same transaction
+    sim.run();
+    EXPECT_EQ(done_a, 1);
+    EXPECT_EQ(done_b, 1);
+    EXPECT_EQ(eng.transactionsCompleted(), 1u);
+    EXPECT_EQ(eng.coalescedAccesses(), 1u);
+    // Two network crossings only (one request, one data).
+    EXPECT_EQ(eng.messagesSent(), 2u);
+}
+
+TEST_F(CoalesceFixture, ReadAttachesToPendingWrite)
+{
+    const auto w = eng.startAccess(3, 0x4000, MemOp::Write, nullptr);
+    const auto r = eng.startAccess(3, 0x4000, MemOp::Read, nullptr);
+    ASSERT_TRUE(w.has_value());
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*w, *r); // GetM grants read permission too
+    sim.run();
+    EXPECT_EQ(eng.coalescedAccesses(), 1u);
+    EXPECT_EQ(eng.l2(3).probe(0x4000), CacheState::Modified);
+}
+
+TEST_F(CoalesceFixture, WriteBehindPendingReadIssuesItsOwn)
+{
+    const auto r = eng.startAccess(3, 0x4000, MemOp::Read, nullptr);
+    const auto w = eng.startAccess(3, 0x4000, MemOp::Write, nullptr);
+    ASSERT_TRUE(r.has_value());
+    ASSERT_TRUE(w.has_value());
+    EXPECT_NE(*r, *w); // a read fetch cannot satisfy a write
+    sim.run();
+    EXPECT_EQ(eng.transactionsCompleted(), 2u);
+    EXPECT_EQ(eng.l2(3).probe(0x4000), CacheState::Modified);
+}
+
+TEST_F(CoalesceFixture, DifferentSitesNeverCoalesce)
+{
+    const auto a = eng.startAccess(3, 0x4000, MemOp::Read, nullptr);
+    const auto b = eng.startAccess(5, 0x4000, MemOp::Read, nullptr);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_NE(*a, *b);
+    sim.run();
+    EXPECT_EQ(eng.coalescedAccesses(), 0u);
+}
+
+TEST_F(CoalesceFixture, DifferentLinesNeverCoalesce)
+{
+    const auto a = eng.startAccess(3, 0x4000, MemOp::Read, nullptr);
+    const auto b = eng.startAccess(3, 0x4040, MemOp::Read, nullptr);
+    EXPECT_NE(*a, *b);
+    sim.run();
+    EXPECT_EQ(eng.coalescedAccesses(), 0u);
+}
+
+TEST_F(CoalesceFixture, CoalescingEndsWhenTheFetchRetires)
+{
+    eng.startAccess(3, 0x4000, MemOp::Read, nullptr);
+    sim.run(); // fetch completes; line resident now
+    // A new access is an L2 hit, not a coalesced miss.
+    const auto again = eng.startAccess(3, 0x4000, MemOp::Read,
+                                       nullptr);
+    EXPECT_FALSE(again.has_value());
+    EXPECT_EQ(eng.coalescedAccesses(), 0u);
+}
+
+TEST_F(CoalesceFixture, ManyCoresPileOntoOneFetch)
+{
+    // All 8 cores of a site miss the same line back to back (a
+    // barrier variable, say): one transaction, eight completions.
+    int completions = 0;
+    for (int core = 0; core < 8; ++core) {
+        eng.startAccess(7, 0x8000, MemOp::Read,
+                        [&](TxnId, Tick) { ++completions; });
+    }
+    sim.run();
+    EXPECT_EQ(completions, 8);
+    EXPECT_EQ(eng.transactionsCompleted(), 1u);
+    EXPECT_EQ(eng.coalescedAccesses(), 7u);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the SiteSet sharer vector and Directory slices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hh"
+#include "arch/directory.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+TEST(SiteSet, AddRemoveContains)
+{
+    SiteSet s;
+    EXPECT_TRUE(s.empty());
+    s.add(0);
+    s.add(63);
+    s.add(17);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_TRUE(s.contains(63));
+    EXPECT_FALSE(s.contains(5));
+    s.remove(0);
+    EXPECT_FALSE(s.contains(0));
+    EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(SiteSet, AddIsIdempotent)
+{
+    SiteSet s;
+    s.add(5);
+    s.add(5);
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(SiteSet, MembersSortedAscending)
+{
+    SiteSet s;
+    s.add(42);
+    s.add(3);
+    s.add(17);
+    EXPECT_EQ(s.members(), (std::vector<SiteId>{3, 17, 42}));
+}
+
+TEST(SiteSet, ClearEmpties)
+{
+    SiteSet s;
+    s.add(1);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(s.members().empty());
+}
+
+TEST(Directory, HomeSiteInterleavesByLine)
+{
+    Directory d(64);
+    // Consecutive lines map to consecutive sites, wrapping.
+    EXPECT_EQ(d.homeSite(0, 64), 0u);
+    EXPECT_EQ(d.homeSite(64, 64), 1u);
+    EXPECT_EQ(d.homeSite(63 * 64, 64), 63u);
+    EXPECT_EQ(d.homeSite(64 * 64, 64), 0u);
+    // Offsets within a line share the home.
+    EXPECT_EQ(d.homeSite(64 + 13, 64), 1u);
+}
+
+TEST(Directory, ProbeOnUnknownLineIsUncached)
+{
+    Directory d(64);
+    const DirEntry e = d.probe(0x1000);
+    EXPECT_EQ(e.state, DirState::Uncached);
+    EXPECT_TRUE(e.sharers.empty());
+    EXPECT_EQ(d.trackedLines(), 0u);
+}
+
+TEST(Directory, EntryCreatesAndPersists)
+{
+    Directory d(64);
+    DirEntry &e = d.entry(0x1000);
+    e.state = DirState::Exclusive;
+    e.owner = 12;
+    const DirEntry got = d.probe(0x1000);
+    EXPECT_EQ(got.state, DirState::Exclusive);
+    EXPECT_EQ(got.owner, 12u);
+    EXPECT_EQ(d.trackedLines(), 1u);
+}
+
+TEST(Config, Table4Values)
+{
+    const MacrochipConfig c = simulatedConfig();
+    EXPECT_EQ(c.siteCount(), 64u);
+    EXPECT_EQ(c.coreCount(), 512u);
+    EXPECT_EQ(c.l2CacheBytes, 256u * 1024u);
+    EXPECT_EQ(c.coresPerSite, 8u);
+    EXPECT_EQ(c.threadsPerCore, 1u);
+    EXPECT_DOUBLE_EQ(c.siteBandwidthBytesPerNs(), 320.0);
+    EXPECT_DOUBLE_EQ(c.peakBandwidthTBs(), 20.48);
+    EXPECT_EQ(c.wavelengthsPerWaveguide, 8u);
+    EXPECT_DOUBLE_EQ(c.clock().frequencyGhz(), 5.0);
+}
+
+TEST(Config, FullScaleSection3Values)
+{
+    const MacrochipConfig c = fullScaleConfig();
+    EXPECT_EQ(c.coreCount(), 4096u);
+    EXPECT_DOUBLE_EQ(c.siteBandwidthBytesPerNs(), 2560.0);
+    // 160 TB/s aggregate peak.
+    EXPECT_NEAR(c.peakBandwidthTBs(), 163.84, 1e-9);
+    EXPECT_EQ(c.wavelengthsPerWaveguide, 16u);
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the network energy model (section 6.3 accounting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/energy.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+TEST(EnergyModel, StartsAtZero)
+{
+    EnergyModel e;
+    EXPECT_EQ(e.opticalDynamicJoules(), 0.0);
+    EXPECT_EQ(e.routerJoules(), 0.0);
+    EXPECT_EQ(e.totalJoules(1000), 0.0);
+}
+
+TEST(EnergyModel, TransceiverEnergyIs100fJPerBit)
+{
+    // 35 fJ modulator + 65 fJ receiver.
+    EnergyModel e;
+    e.countOpticalTransfer(64); // one cache line, one hop
+    EXPECT_DOUBLE_EQ(e.opticalDynamicJoules(),
+                     64.0 * 8.0 * 100e-15);
+    EXPECT_EQ(e.opticalBits(), 512u);
+}
+
+TEST(EnergyModel, RouterEnergyIs60pJPerByte)
+{
+    EnergyModel e;
+    e.countRouterHop(64);
+    EXPECT_DOUBLE_EQ(e.routerJoules(), 64.0 * 60e-12);
+    // Router energy per byte dwarfs transceiver energy per byte
+    // (60 pJ vs 0.8 pJ): the figure 9 premise.
+    EnergyModel o;
+    o.countOpticalTransfer(64);
+    EXPECT_GT(e.routerJoules(), 10.0 * o.opticalDynamicJoules());
+}
+
+TEST(EnergyModel, StaticIntegratesOverTime)
+{
+    EnergyModel e(10.0); // 10 W
+    // 1 microsecond at 10 W = 10 microjoules.
+    EXPECT_NEAR(e.staticJoules(1 * tickUs), 10e-6, 1e-15);
+    // Static power scales linearly with time.
+    EXPECT_DOUBLE_EQ(e.staticJoules(2 * tickUs),
+                     2.0 * e.staticJoules(1 * tickUs));
+}
+
+TEST(EnergyModel, TotalsCompose)
+{
+    EnergyModel e(8.2);
+    e.countOpticalTransfer(1000);
+    e.countRouterHop(500);
+    const Tick t = 100 * tickNs;
+    EXPECT_DOUBLE_EQ(e.totalJoules(t),
+                     e.staticJoules(t) + e.opticalDynamicJoules()
+                         + e.routerJoules());
+}
+
+TEST(EnergyModel, EdpIsEnergyTimesDelay)
+{
+    EnergyModel e(10.0);
+    const Tick t = 1 * tickUs;
+    EXPECT_NEAR(e.edp(t), e.totalJoules(t) * 1e-6, 1e-18);
+    // EDP grows quadratically with runtime for a static-dominated
+    // network: the mechanism behind figure 10's 1000x spreads.
+    EXPECT_NEAR(e.edp(2 * tickUs) / e.edp(t), 4.0, 1e-9);
+}
+
+TEST(EnergyModel, ResetClearsDynamicOnly)
+{
+    EnergyModel e(5.0);
+    e.countOpticalTransfer(100);
+    e.countRouterHop(100);
+    e.reset();
+    EXPECT_EQ(e.opticalDynamicJoules(), 0.0);
+    EXPECT_EQ(e.routerJoules(), 0.0);
+    EXPECT_DOUBLE_EQ(e.staticWatts(), 5.0);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the event queue: ordering, cancellation, determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickEventsRunFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.runUntil();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitInclusive)
+{
+    EventQueue q;
+    int ran = 0;
+    q.schedule(10, [&] { ++ran; });
+    q.schedule(20, [&] { ++ran; });
+    q.schedule(21, [&] { ++ran; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            q.scheduleAfter(1, chain);
+    };
+    q.schedule(0, chain);
+    q.runUntil();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(q.now(), 99u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventId id = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    q.runUntil();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, CancelReturnsFalseForCompletedEvent)
+{
+    EventQueue q;
+    EventId id = q.schedule(1, [] {});
+    q.runUntil();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelReturnsFalseTwice)
+{
+    EventQueue q;
+    EventId id = q.schedule(1, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdIsFalse)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(invalidEventId));
+    EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelDoesNotDisturbOtherEvents)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    EventId id = q.schedule(10, [&] { order.push_back(2); });
+    q.schedule(10, [&] { order.push_back(3); });
+    q.cancel(id);
+    q.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, ExecutedCountsOnlyRunEvents)
+{
+    EventQueue q;
+    q.schedule(1, [] {});
+    EventId id = q.schedule(2, [] {});
+    q.cancel(id);
+    q.schedule(3, [] {});
+    q.runUntil();
+    EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runUntil();
+    EXPECT_DEATH(q.schedule(50, [] {}), "before now");
+}
+
+TEST(Simulator, RunAdvancesTime)
+{
+    Simulator sim;
+    int hits = 0;
+    sim.events().schedule(5 * tickNs, [&] { ++hits; });
+    sim.events().schedule(7 * tickNs, [&] { ++hits; });
+    EXPECT_EQ(sim.run(), 2u);
+    EXPECT_EQ(sim.now(), 7 * tickNs);
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(Simulator, SeededRngIsDeterministic)
+{
+    Simulator a(42), b(42), c(43);
+    bool all_equal = true;
+    bool any_diff_from_c = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto va = a.rng().next();
+        if (va != b.rng().next())
+            all_equal = false;
+        if (va != c.rng().next())
+            any_diff_from_c = true;
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_from_c);
+}
+
+} // namespace

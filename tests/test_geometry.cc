@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for macrochip geometry: coordinates, route lengths,
+ * propagation delays, ring and torus metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/geometry.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+TEST(Geometry, RejectsDegenerateGrids)
+{
+    EXPECT_THROW(MacrochipGeometry(0, 8), FatalError);
+    EXPECT_THROW(MacrochipGeometry(8, 0), FatalError);
+    EXPECT_THROW(MacrochipGeometry(8, 8, 0.0), FatalError);
+}
+
+TEST(Geometry, CoordIdRoundTrip)
+{
+    MacrochipGeometry g(8, 8);
+    for (SiteId id = 0; id < g.siteCount(); ++id)
+        EXPECT_EQ(g.idOf(g.coordOf(id)), id);
+    EXPECT_EQ(g.coordOf(0), (SiteCoord{0, 0}));
+    EXPECT_EQ(g.coordOf(7), (SiteCoord{0, 7}));
+    EXPECT_EQ(g.coordOf(8), (SiteCoord{1, 0}));
+    EXPECT_EQ(g.coordOf(63), (SiteCoord{7, 7}));
+}
+
+TEST(Geometry, NonSquareGrid)
+{
+    MacrochipGeometry g(2, 3);
+    EXPECT_EQ(g.siteCount(), 6u);
+    EXPECT_EQ(g.coordOf(4), (SiteCoord{1, 1}));
+    EXPECT_EQ(g.idOf({1, 2}), 5u);
+}
+
+TEST(Geometry, RowColPredicates)
+{
+    MacrochipGeometry g(8, 8);
+    EXPECT_TRUE(g.sameRow(0, 7));
+    EXPECT_FALSE(g.sameRow(0, 8));
+    EXPECT_TRUE(g.sameCol(0, 56));
+    EXPECT_FALSE(g.sameCol(0, 57));
+}
+
+TEST(Geometry, ManhattanRouteLength)
+{
+    MacrochipGeometry g(8, 8, 2.5);
+    EXPECT_DOUBLE_EQ(g.routeLengthCm(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(g.routeLengthCm(0, 1), 2.5);
+    EXPECT_DOUBLE_EQ(g.routeLengthCm(0, 63), 14 * 2.5);
+    // Symmetric.
+    EXPECT_DOUBLE_EQ(g.routeLengthCm(63, 0), g.routeLengthCm(0, 63));
+    EXPECT_DOUBLE_EQ(g.worstCaseRouteCm(), 35.0);
+}
+
+TEST(Geometry, PropagationDelayMatchesSpeedOfLightInSoi)
+{
+    MacrochipGeometry g(8, 8, 2.5);
+    // 0.1 ns/cm: one 2.5 cm hop = 0.25 ns = 250 ticks.
+    EXPECT_EQ(g.propagationDelay(0, 1), 250u);
+    // Worst case corner-to-corner: 35 cm = 3.5 ns.
+    EXPECT_EQ(g.propagationDelay(0, 63), 3500u);
+}
+
+TEST(Geometry, RingMetricsReproduceTokenLatency)
+{
+    MacrochipGeometry g(8, 8, 2.5);
+    EXPECT_DOUBLE_EQ(g.ringLengthCm(), 160.0);
+    // 16 ns round trip = 80 cycles at 5 GHz, as scaled in section 4.4.
+    EXPECT_EQ(g.ringRoundTrip(), 16 * tickNs);
+    EXPECT_EQ(systemClock.ticksToCycles(g.ringRoundTrip()).count(), 80u);
+    EXPECT_EQ(g.ringHopDelay(), 250u);
+}
+
+TEST(Geometry, TorusHopsWrapAround)
+{
+    MacrochipGeometry g(8, 8);
+    EXPECT_EQ(g.torusHops(0, 0), 0u);
+    EXPECT_EQ(g.torusHops(0, 1), 1u);
+    // 0 -> 7 in the same row: wraparound distance is 1, not 7.
+    EXPECT_EQ(g.torusHops(0, 7), 1u);
+    EXPECT_EQ(g.torusHops(0, 63), 2u); // wrap in both dimensions
+    // Maximum torus distance on an 8x8 is 4 + 4.
+    std::uint32_t max_hops = 0;
+    for (SiteId a = 0; a < 64; ++a)
+        for (SiteId b = 0; b < 64; ++b)
+            max_hops = std::max(max_hops, g.torusHops(a, b));
+    EXPECT_EQ(max_hops, 8u);
+}
+
+TEST(Geometry, WaveguideDelayIsLinear)
+{
+    EXPECT_EQ(MacrochipGeometry::waveguideDelay(10.0), 1 * tickNs);
+    EXPECT_EQ(MacrochipGeometry::waveguideDelay(0.0), 0u);
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the message-passing (future-work) workloads: barrier
+ * correctness, message counts, and network-ordering properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/limited_pt2pt.hh"
+#include "net/pt2pt.hh"
+#include "net/token_ring.hh"
+#include "sim/logging.hh"
+#include "workloads/message_passing.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+MpiWorkloadSpec
+spec(Collective c, std::uint32_t iters = 3,
+     std::uint32_t bytes = 256)
+{
+    MpiWorkloadSpec s;
+    s.collective = c;
+    s.iterations = iters;
+    s.messageBytes = bytes;
+    s.computeTime = 50 * tickNs;
+    return s;
+}
+
+TEST(MessagePassing, HaloExchangeMessageCount)
+{
+    Simulator sim(1);
+    PointToPointNetwork net(sim, simulatedConfig());
+    MessagePassingSystem mpi(sim, net,
+                             spec(Collective::HaloExchange, 3));
+    const MpiResult res = mpi.run();
+    // 64 ranks x 4 neighbors x 3 iterations.
+    EXPECT_EQ(res.messages, 64u * 4u * 3u);
+    EXPECT_EQ(res.iterations, 3u);
+    EXPECT_GT(res.runtime, 3u * 50u * tickNs);
+}
+
+TEST(MessagePassing, AllToAllMessageCount)
+{
+    Simulator sim(1);
+    PointToPointNetwork net(sim, simulatedConfig());
+    MessagePassingSystem mpi(sim, net, spec(Collective::AllToAll, 2));
+    const MpiResult res = mpi.run();
+    EXPECT_EQ(res.messages, 64u * 63u * 2u);
+}
+
+TEST(MessagePassing, AllReduceMessageCount)
+{
+    Simulator sim(1);
+    PointToPointNetwork net(sim, simulatedConfig());
+    MessagePassingSystem mpi(sim, net, spec(Collective::AllReduce, 2));
+    const MpiResult res = mpi.run();
+    // 64 ranks x log2(64) = 6 rounds x 2 iterations.
+    EXPECT_EQ(res.messages, 64u * 6u * 2u);
+}
+
+TEST(MessagePassing, AllReduceRoundsAreSequential)
+{
+    // The per-iteration time of a recursive-doubling all-reduce must
+    // be at least log2(64) = 6 serial one-way message latencies.
+    Simulator sim(1);
+    PointToPointNetwork net(sim, simulatedConfig());
+    MpiWorkloadSpec s = spec(Collective::AllReduce, 1, 64);
+    s.computeTime = 0;
+    MessagePassingSystem mpi(sim, net, s);
+    const MpiResult res = mpi.run();
+    // One 64 B message on a 5 GB/s channel is ~13 ns minimum.
+    EXPECT_GT(res.runtime, 6u * 13u * tickNs);
+}
+
+TEST(MessagePassing, IterationsScaleLinearly)
+{
+    auto runtime = [](std::uint32_t iters) {
+        Simulator sim(1);
+        PointToPointNetwork net(sim, simulatedConfig());
+        MessagePassingSystem mpi(
+            sim, net, spec(Collective::HaloExchange, iters));
+        return mpi.run().runtime;
+    };
+    const Tick one = runtime(1);
+    const Tick four = runtime(4);
+    EXPECT_NEAR(static_cast<double>(four),
+                4.0 * static_cast<double>(one),
+                0.05 * static_cast<double>(four));
+}
+
+TEST(MessagePassing, LimitedP2PWinsHaloExchange)
+{
+    // Halo exchange maps onto the limited point-to-point network's
+    // 20 GB/s row/column links with zero forwarding; the plain
+    // point-to-point pushes the same bytes down 5 GB/s channels.
+    MpiWorkloadSpec s = spec(Collective::HaloExchange, 3, 4096);
+
+    Simulator sim_a(1);
+    LimitedPointToPointNetwork ltd(sim_a, simulatedConfig());
+    const auto ltd_res = MessagePassingSystem(sim_a, ltd, s).run();
+    EXPECT_EQ(ltd.forwardedPackets(), 0u);
+
+    Simulator sim_b(1);
+    PointToPointNetwork p2p(sim_b, simulatedConfig());
+    const auto p2p_res = MessagePassingSystem(sim_b, p2p, s).run();
+
+    EXPECT_LT(ltd_res.runtime, p2p_res.runtime);
+}
+
+TEST(MessagePassing, TokenRingSuffersOnAllReduce)
+{
+    // Every all-reduce round is one-to-one traffic: the token ring
+    // pays round-trip token latency per message.
+    MpiWorkloadSpec s = spec(Collective::AllReduce, 2, 64);
+
+    Simulator sim_a(1);
+    TokenRingCrossbar ring(sim_a, simulatedConfig());
+    const auto ring_res = MessagePassingSystem(sim_a, ring, s).run();
+
+    Simulator sim_b(1);
+    PointToPointNetwork p2p(sim_b, simulatedConfig());
+    const auto p2p_res = MessagePassingSystem(sim_b, p2p, s).run();
+
+    EXPECT_GT(ring_res.runtime, p2p_res.runtime);
+}
+
+TEST(MessagePassing, AllReduceRejectsNonPowerOfTwo)
+{
+    Simulator sim(1);
+    MacrochipConfig cfg = simulatedConfig();
+    cfg.rows = 3;
+    cfg.cols = 4;
+    cfg.txPerSite = 24; // keep 2 lambdas per channel
+    PointToPointNetwork net(sim, cfg);
+    EXPECT_THROW(MessagePassingSystem(sim, net,
+                                      spec(Collective::AllReduce)),
+                 FatalError);
+}
+
+TEST(MessagePassing, CollectiveNames)
+{
+    EXPECT_EQ(to_string(Collective::HaloExchange), "halo-exchange");
+    EXPECT_EQ(to_string(Collective::AllToAll), "all-to-all");
+    EXPECT_EQ(to_string(Collective::AllReduce), "all-reduce");
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the Table 3 synthetic traffic patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "arch/config.hh"
+#include "sim/logging.hh"
+#include "workloads/patterns.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+TEST(Patterns, TransposeSwapsBitHalves)
+{
+    // 6-bit ids: abcdef -> defabc.
+    EXPECT_EQ(transposeOf(0b000001, 6), 0b001000u);
+    EXPECT_EQ(transposeOf(0b111000, 6), 0b000111u);
+    EXPECT_EQ(transposeOf(0, 6), 0u);
+    EXPECT_EQ(transposeOf(0b101101, 6), 0b101101u); // palindrome halves
+}
+
+TEST(Patterns, TransposeIsAnInvolution)
+{
+    for (SiteId s = 0; s < 64; ++s)
+        EXPECT_EQ(transposeOf(transposeOf(s, 6), 6), s);
+}
+
+TEST(Patterns, ButterflySwapsLsbAndMsb)
+{
+    EXPECT_EQ(butterflyOf(0b000001, 6), 0b100000u);
+    EXPECT_EQ(butterflyOf(0b100000, 6), 0b000001u);
+    EXPECT_EQ(butterflyOf(0b100001, 6), 0b100001u); // fixed point
+    EXPECT_EQ(butterflyOf(0b011110, 6), 0b011110u); // fixed point
+}
+
+TEST(Patterns, ButterflyHalfTheSitesAreFixedPoints)
+{
+    // Sites whose LSB == MSB map to themselves: modelled as intra-
+    // node traffic in section 6.2 ("50% of the communication is
+    // intra-node").
+    int fixed = 0;
+    for (SiteId s = 0; s < 64; ++s)
+        fixed += (butterflyOf(s, 6) == s);
+    EXPECT_EQ(fixed, 32);
+}
+
+TEST(Patterns, UniformCoversAllDestinations)
+{
+    MacrochipGeometry geom(8, 8);
+    DestinationGenerator gen(TrafficPattern::Uniform, geom);
+    Rng rng(1);
+    std::set<SiteId> seen;
+    for (int i = 0; i < 5000; ++i)
+        seen.insert(gen.next(0, rng));
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Patterns, NeighborPicksOnlyTheFourNeighbors)
+{
+    MacrochipGeometry geom(8, 8);
+    DestinationGenerator gen(TrafficPattern::Neighbor, geom);
+    Rng rng(2);
+    // Interior site 27 = (3,3).
+    const std::set<SiteId> expected{19, 35, 26, 28};
+    std::set<SiteId> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(gen.next(27, rng));
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(Patterns, NeighborWrapsAtEdges)
+{
+    MacrochipGeometry geom(8, 8);
+    DestinationGenerator gen(TrafficPattern::Neighbor, geom);
+    Rng rng(3);
+    // Corner site 0 = (0,0): wraps to (0,1),(0,7),(1,0),(7,0).
+    const std::set<SiteId> expected{1, 7, 8, 56};
+    std::set<SiteId> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(gen.next(0, rng));
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(Patterns, AllToAllCyclesThroughEveryOtherSite)
+{
+    MacrochipGeometry geom(8, 8);
+    DestinationGenerator gen(TrafficPattern::AllToAll, geom);
+    Rng rng(4);
+    std::vector<SiteId> dsts;
+    for (int i = 0; i < 63; ++i)
+        dsts.push_back(gen.next(5, rng));
+    std::set<SiteId> unique(dsts.begin(), dsts.end());
+    EXPECT_EQ(unique.size(), 63u);
+    EXPECT_FALSE(unique.contains(5)); // never itself
+    // The cycle repeats after 63 destinations.
+    EXPECT_EQ(gen.next(5, rng), dsts.front());
+}
+
+TEST(Patterns, AllToAllKeepsIndependentPerSourceCursors)
+{
+    MacrochipGeometry geom(8, 8);
+    DestinationGenerator gen(TrafficPattern::AllToAll, geom);
+    Rng rng(5);
+    EXPECT_EQ(gen.next(0, rng), 1u);
+    EXPECT_EQ(gen.next(1, rng), 2u);
+    EXPECT_EQ(gen.next(0, rng), 2u);
+    EXPECT_EQ(gen.next(1, rng), 3u);
+}
+
+TEST(Patterns, FixedPatternsRejectNonPowerOfTwoGrids)
+{
+    MacrochipGeometry geom(3, 5);
+    EXPECT_THROW(DestinationGenerator(TrafficPattern::Transpose, geom),
+                 FatalError);
+    EXPECT_THROW(DestinationGenerator(TrafficPattern::Butterfly, geom),
+                 FatalError);
+    // Random patterns are fine on any grid.
+    EXPECT_NO_THROW(DestinationGenerator(TrafficPattern::Uniform,
+                                         geom));
+}
+
+TEST(Patterns, Names)
+{
+    EXPECT_EQ(to_string(TrafficPattern::Uniform), "uniform");
+    EXPECT_EQ(to_string(TrafficPattern::AllToAll), "all-to-all");
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for component properties, link budgets and laser power,
+ * pinned to the paper's section 2 / Table 1 / Table 5 numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "photonics/components.hh"
+#include "photonics/laser_power.hh"
+#include "photonics/link_budget.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+TEST(Components, Table1Values)
+{
+    EXPECT_DOUBLE_EQ(properties(Component::Modulator).dynamicEnergy.value,
+                     35.0);
+    EXPECT_DOUBLE_EQ(properties(Component::Modulator).insertionLoss
+                         .value(), 4.0);
+    EXPECT_DOUBLE_EQ(properties(Component::OpxcCoupler).insertionLoss
+                         .value(), 1.2);
+    EXPECT_DOUBLE_EQ(properties(Component::WaveguideLocal).insertionLoss
+                         .value(), 0.5);
+    EXPECT_DOUBLE_EQ(properties(Component::WaveguideGlobal).insertionLoss
+                         .value(), 0.1);
+    EXPECT_DOUBLE_EQ(properties(Component::DropFilterPass).insertionLoss
+                         .value(), 0.1);
+    EXPECT_DOUBLE_EQ(properties(Component::DropFilterDrop).insertionLoss
+                         .value(), 1.5);
+    EXPECT_DOUBLE_EQ(properties(Component::Receiver).dynamicEnergy.value,
+                     65.0);
+    EXPECT_DOUBLE_EQ(properties(Component::Receiver).staticPower.value,
+                     1.3);
+    EXPECT_DOUBLE_EQ(properties(Component::Switch).insertionLoss.value(),
+                     1.0);
+    EXPECT_DOUBLE_EQ(properties(Component::Switch).staticPower.value,
+                     0.5);
+    EXPECT_DOUBLE_EQ(properties(Component::Laser).dynamicEnergy.value,
+                     50.0);
+    EXPECT_DOUBLE_EQ(properties(Component::ModulatorOff).insertionLoss
+                         .value(), 0.1);
+    EXPECT_DOUBLE_EQ(properties(Component::Multiplexer).insertionLoss
+                         .value(), 2.5);
+}
+
+TEST(Components, LinkRateConstants)
+{
+    EXPECT_DOUBLE_EQ(bitRateGbps, 20.0);
+    EXPECT_DOUBLE_EQ(bytesPerNsPerWavelength, 2.5);
+    EXPECT_DOUBLE_EQ(receiverSensitivity.value(), -21.0);
+    EXPECT_DOUBLE_EQ(propagationNsPerCm, 0.1);
+}
+
+TEST(LinkBudget, EmptyPathIsLossless)
+{
+    OpticalPath p;
+    EXPECT_DOUBLE_EQ(p.totalLoss().value(), 0.0);
+    EXPECT_DOUBLE_EQ(p.receivedPower().value(), 0.0);
+}
+
+TEST(LinkBudget, CanonicalUnswitchedLinkIs17dB)
+{
+    const OpticalPath link = canonicalUnswitchedLink();
+    EXPECT_NEAR(link.totalLoss().value(),
+                unswitchedLinkBudget.value(), 1e-9);
+}
+
+TEST(LinkBudget, CanonicalLinkClosesWith4dBMargin)
+{
+    const OpticalPath link = canonicalUnswitchedLink();
+    EXPECT_NEAR(link.margin().value(), 4.0, 1e-9);
+    EXPECT_TRUE(link.closes());
+}
+
+TEST(LinkBudget, LinkFailsBelowSensitivity)
+{
+    OpticalPath p = canonicalUnswitchedLink();
+    p.add(Component::Switch, 5.0); // +5 dB pushes margin to -1 dB
+    EXPECT_FALSE(p.closes());
+    EXPECT_NEAR(p.margin().value(), -1.0, 1e-9);
+    // Raising launch power recovers the link.
+    EXPECT_TRUE(p.closes(PowerDbm(1.0)));
+}
+
+TEST(LinkBudget, WaveguideLossScalesWithLength)
+{
+    OpticalPath p;
+    p.addGlobalWaveguide(60.0);
+    EXPECT_NEAR(p.totalLoss().value(), 6.0, 1e-12);
+    OpticalPath q;
+    q.addLocalWaveguide(2.0);
+    EXPECT_NEAR(q.totalLoss().value(), 1.0, 1e-12);
+}
+
+TEST(LinkBudget, LossFactorBeyondBudget)
+{
+    OpticalPath p = canonicalUnswitchedLink();
+    // Within budget: no scaling needed.
+    EXPECT_DOUBLE_EQ(p.lossFactorBeyond(unswitchedLinkBudget), 1.0);
+    // 7 switch hops (two-phase worst case): 7 dB -> ~5x laser power.
+    p.add(Component::Switch, 7.0);
+    EXPECT_NEAR(p.lossFactorBeyond(unswitchedLinkBudget), 5.01, 0.01);
+}
+
+TEST(LaserPower, FactorFromExtraLoss)
+{
+    EXPECT_DOUBLE_EQ(lossFactorFromExtraLoss(Decibel(0.0)), 1.0);
+    EXPECT_DOUBLE_EQ(lossFactorFromExtraLoss(Decibel(-3.0)), 1.0);
+    EXPECT_NEAR(lossFactorFromExtraLoss(Decibel(12.8)), 19.05, 0.01);
+    EXPECT_NEAR(lossFactorFromExtraLoss(Decibel(7.0)), 5.01, 0.01);
+    EXPECT_NEAR(lossFactorFromExtraLoss(Decibel(6.0)), 3.98, 0.01);
+}
+
+TEST(LaserPower, SpecWattsMatchesFormula)
+{
+    // Point-to-point row of Table 5: 8192 wavelengths at 1x -> ~8 W.
+    LaserPowerSpec p2p{"pt-to-pt", 8192, 1.0};
+    EXPECT_NEAR(p2p.watts(), 8.19, 0.01);
+
+    // Token ring: 8192 wavelengths at 19x -> ~155 W.
+    LaserPowerSpec token{"token", 8192,
+                         lossFactorFromExtraLoss(Decibel(12.8))};
+    EXPECT_NEAR(token.watts(), 156.0, 1.0);
+}
+
+TEST(LaserPower, SourceCountRoundsUp)
+{
+    LaserPowerSpec s{"x", 8192, 1.0};
+    // 8.192 W = 8192 mW -> 820 ten-mW sources.
+    EXPECT_EQ(s.laserSources(), 820u);
+}
+
+} // namespace

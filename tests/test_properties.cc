@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Parameterized property sweeps across configuration space:
+ * geometry on arbitrary grids, torus routing validity for every site
+ * pair, topology mechanism independence properties, and the MSHR
+ * stall path of the trace CPU.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "net/circuit_switched.hh"
+#include "net/pt2pt.hh"
+#include "net/token_ring.hh"
+#include "net/two_phase.hh"
+#include "workloads/trace_cpu.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+// ---------------------------------------------------------------------
+// Geometry properties on a sweep of grid shapes.
+
+class GeometrySweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t>>
+{
+};
+
+TEST_P(GeometrySweep, CoordinateBijection)
+{
+    const auto [rows, cols] = GetParam();
+    MacrochipGeometry g(rows, cols);
+    std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+    for (SiteId id = 0; id < g.siteCount(); ++id) {
+        const SiteCoord c = g.coordOf(id);
+        EXPECT_LT(c.row, rows);
+        EXPECT_LT(c.col, cols);
+        EXPECT_EQ(g.idOf(c), id);
+        seen.insert({c.row, c.col});
+    }
+    EXPECT_EQ(seen.size(), g.siteCount());
+}
+
+TEST_P(GeometrySweep, RouteLengthIsAMetric)
+{
+    const auto [rows, cols] = GetParam();
+    MacrochipGeometry g(rows, cols);
+    const SiteId n = g.siteCount();
+    for (SiteId a = 0; a < n; a += 3) {
+        EXPECT_DOUBLE_EQ(g.routeLengthCm(a, a), 0.0);
+        for (SiteId b = 0; b < n; b += 5) {
+            // Symmetry.
+            EXPECT_DOUBLE_EQ(g.routeLengthCm(a, b),
+                             g.routeLengthCm(b, a));
+            // Bounded by the worst case.
+            EXPECT_LE(g.routeLengthCm(a, b), g.worstCaseRouteCm());
+        }
+    }
+}
+
+TEST_P(GeometrySweep, TorusHopsRespectWraparound)
+{
+    const auto [rows, cols] = GetParam();
+    MacrochipGeometry g(rows, cols);
+    const SiteId n = g.siteCount();
+    for (SiteId a = 0; a < n; a += 3) {
+        for (SiteId b = 0; b < n; b += 5) {
+            const std::uint32_t h = g.torusHops(a, b);
+            EXPECT_EQ(h, g.torusHops(b, a));
+            EXPECT_LE(h, rows / 2 + cols / 2);
+            if (a == b) {
+                EXPECT_EQ(h, 0u);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, GeometrySweep,
+    ::testing::Values(std::make_tuple(1u, 1u), std::make_tuple(1u, 8u),
+                      std::make_tuple(2u, 2u), std::make_tuple(4u, 4u),
+                      std::make_tuple(8u, 8u),
+                      std::make_tuple(3u, 5u),
+                      std::make_tuple(16u, 16u)));
+
+// ---------------------------------------------------------------------
+// Circuit-switched torus-path validity over every site pair.
+
+TEST(TorusPathProperty, EveryPairRoutesThroughAdjacentHops)
+{
+    Simulator sim;
+    CircuitSwitchedTorus net(sim, simulatedConfig());
+    const MacrochipGeometry &g = net.geometry();
+    for (SiteId src = 0; src < 64; ++src) {
+        for (SiteId dst = 0; dst < 64; ++dst) {
+            if (src == dst)
+                continue;
+            const auto path = net.torusPath(src, dst);
+            // Intermediate count matches the torus hop metric.
+            EXPECT_EQ(path.size() + 1, g.torusHops(src, dst))
+                << src << "->" << dst;
+            // Consecutive sites along the walk are torus-adjacent.
+            SiteId prev = src;
+            for (const SiteId via : path) {
+                EXPECT_EQ(g.torusHops(prev, via), 1u)
+                    << src << "->" << dst;
+                prev = via;
+            }
+            EXPECT_EQ(g.torusHops(prev, dst), 1u);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Topology independence properties.
+
+TEST(Independence, TwoPhaseRowsDoNotShareNotifications)
+{
+    // Senders in different rows targeting the same column use
+    // different manager wavelengths: equal-latency, no serialization
+    // between them.
+    Simulator sim;
+    TwoPhaseArbitratedNetwork net(sim, simulatedConfig());
+    std::map<SiteId, Tick> delivered;
+    net.setDefaultHandler([&](const Message &m) {
+        delivered[m.src] = m.delivered - m.injected;
+    });
+    Message a;
+    a.src = 0; // row 0
+    a.dst = 9; // column 1
+    net.inject(a);
+    Message b;
+    b.src = 16; // row 2
+    b.dst = 25; // (3,1): column 1, same 2-hop Manhattan distance
+    net.inject(b);
+    sim.run();
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_EQ(delivered[0], delivered[16]); // same relative path
+}
+
+TEST(Independence, PointToPointAllPairsSimultaneously)
+{
+    // All 64x63 channels carry one packet at once without
+    // interference: per-pair latency depends only on distance.
+    Simulator sim;
+    PointToPointNetwork net(sim, simulatedConfig());
+    std::map<std::pair<SiteId, SiteId>, Tick> lat;
+    net.setDefaultHandler([&](const Message &m) {
+        lat[{m.src, m.dst}] = m.delivered - m.injected;
+    });
+    for (SiteId s = 0; s < 64; ++s) {
+        for (SiteId d = 0; d < 64; ++d) {
+            if (s == d)
+                continue;
+            Message m;
+            m.src = s;
+            m.dst = d;
+            net.inject(m);
+        }
+    }
+    sim.run();
+    ASSERT_EQ(lat.size(), 64u * 63u);
+    const MacrochipGeometry &g = net.geometry();
+    for (const auto &[pair, t] : lat) {
+        const Tick expect = 200 + 12800
+            + g.propagationDelay(pair.first, pair.second) + 200;
+        EXPECT_EQ(t, expect);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace-CPU stall path.
+
+TEST(TraceCpuStall, BlockingCoresStillFinish)
+{
+    Simulator sim(5);
+    MacrochipConfig cfg = simulatedConfig();
+    cfg.mshrsPerCore = 1; // every second miss stalls the core
+    PointToPointNetwork net(sim, cfg);
+    WorkloadSpec spec;
+    spec.name = "stall-test";
+    spec.mode = HomeMode::Pattern;
+    spec.pattern = TrafficPattern::Uniform;
+    spec.mix = SharerMix::moreSharing();
+    spec.missRatePerInstr = 0.2; // extreme: stalls guaranteed
+    spec.instructionsPerCore = 300;
+    const TraceCpuResult res = TraceCpuSystem(sim, net, spec).run();
+    EXPECT_EQ(res.instructions, 300u * 512u);
+    EXPECT_GT(res.coherenceOps, 20000u);
+    // With one MSHR and ~60 misses/core, runtime is dominated by
+    // serialized coherence operations.
+    EXPECT_GT(res.runtimeNs(),
+              50.0 * static_cast<double>(res.coherenceOps) / 512.0);
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng r(1);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 64ull, 1000ull}) {
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowZeroBoundReturnsZero)
+{
+    Rng r(1);
+    EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng r(2);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenIsInclusive)
+{
+    Rng r(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = r.between(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        saw_lo |= (v == -2);
+        saw_hi |= (v == 2);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval)
+{
+    Rng r(4);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng r(5);
+    const double mean = 12.5;
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.exponential(mean);
+        ASSERT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, mean, 0.15);
+}
+
+TEST(Rng, GeometricMeanIsOneOverP)
+{
+    Rng r(6);
+    const double p = 0.25;
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    EXPECT_NEAR(sum / n, 1.0 / p, 0.1);
+}
+
+TEST(Rng, GeometricWithPOneIsAlwaysOne)
+{
+    Rng r(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.geometric(1.0), 1u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(8);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+TEST(Counter, IncrementsAndAdds)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
+    EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.sample(x);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_NEAR(a.stddev(), 2.0, 1e-12);
+}
+
+TEST(Accumulator, NegativeValues)
+{
+    Accumulator a;
+    a.sample(-3.0);
+    a.sample(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+}
+
+TEST(Histogram, RejectsBadRange)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), FatalError);
+    EXPECT_THROW(Histogram(0.0, 10.0, 0), FatalError);
+}
+
+TEST(Histogram, BucketsSamplesCorrectly)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(i + 0.5);
+    EXPECT_EQ(h.count(), 10u);
+    for (auto b : h.buckets())
+        EXPECT_EQ(b, 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(Histogram, OverUnderflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1.0);
+    h.sample(10.0); // hi bound counts as overflow (half-open range)
+    h.sample(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, QuantileMedianOfUniform)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, QuantileEmpty)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(5.0);
+    h.sample(50.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(StatGroup, DumpsNamesAndValues)
+{
+    Counter c;
+    c += 3;
+    Accumulator a;
+    a.sample(10.0);
+    a.sample(20.0);
+
+    StatGroup g;
+    g.addCounter("packets", c);
+    g.addMean("latency", a);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "packets 3\nlatency 15\n");
+
+    std::ostringstream csv;
+    g.dumpCsv(csv);
+    EXPECT_EQ(csv.str(), "packets,latency\n3,15\n");
+}
+
+TEST(StatGroup, ValuesArePulledAtDumpTime)
+{
+    Counter c;
+    StatGroup g;
+    g.addCounter("n", c);
+    c += 7;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "n 7\n");
+}
+
+} // namespace

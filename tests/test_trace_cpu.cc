@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the closed-loop trace-CPU system: completion, MSHR
+ * back-pressure, and the latency-to-runtime feedback that produces
+ * the paper's speedups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/circuit_switched.hh"
+#include "net/pt2pt.hh"
+#include "sim/logging.hh"
+#include "workloads/trace_cpu.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+WorkloadSpec
+tinySynthetic(TrafficPattern pattern, SharerMix mix)
+{
+    WorkloadSpec spec;
+    spec.name = "test";
+    spec.mode = HomeMode::Pattern;
+    spec.pattern = pattern;
+    spec.mix = mix;
+    spec.missRatePerInstr = 0.04;
+    spec.instructionsPerCore = 800;
+    return spec;
+}
+
+TEST(TraceCpu, RunsToCompletionAndRetiresEverything)
+{
+    Simulator sim(1);
+    PointToPointNetwork net(sim, simulatedConfig());
+    TraceCpuSystem cpu(sim, net,
+                       tinySynthetic(TrafficPattern::Uniform,
+                                     SharerMix::lessSharing()));
+    const TraceCpuResult res = cpu.run();
+    EXPECT_EQ(res.instructions, 800u * 512u);
+    EXPECT_GT(res.coherenceOps, 0u);
+    EXPECT_GT(res.runtime, 0u);
+    EXPECT_EQ(cpu.engine().inFlight(), 0u);
+    // ~4% of instructions miss.
+    const double miss_rate = static_cast<double>(res.coherenceOps)
+        / static_cast<double>(res.instructions);
+    EXPECT_NEAR(miss_rate, 0.04, 0.005);
+}
+
+TEST(TraceCpu, RuntimeIsAtLeastTheIdealExecutionTime)
+{
+    Simulator sim(1);
+    PointToPointNetwork net(sim, simulatedConfig());
+    TraceCpuSystem cpu(sim, net,
+                       tinySynthetic(TrafficPattern::Uniform,
+                                     SharerMix::lessSharing()));
+    const TraceCpuResult res = cpu.run();
+    // 800 instructions at 0.2 ns each = 160 ns minimum.
+    EXPECT_GE(res.runtime, 800u * 200u);
+}
+
+TEST(TraceCpu, SlowerNetworkMeansLongerRuntime)
+{
+    // The MSHR feedback loop: higher coherence latency throttles the
+    // cores. This is the mechanism behind every figure 7 speedup.
+    const WorkloadSpec spec =
+        tinySynthetic(TrafficPattern::Uniform,
+                      SharerMix::lessSharing());
+
+    Simulator sim_fast(7);
+    PointToPointNetwork fast(sim_fast, simulatedConfig());
+    const TraceCpuResult fast_res =
+        TraceCpuSystem(sim_fast, fast, spec, 99).run();
+
+    Simulator sim_slow(7);
+    CircuitSwitchedTorus slow(sim_slow, simulatedConfig());
+    const TraceCpuResult slow_res =
+        TraceCpuSystem(sim_slow, slow, spec, 99).run();
+
+    EXPECT_GT(slow_res.runtime, fast_res.runtime);
+    EXPECT_GT(slow_res.opLatencyNs, fast_res.opLatencyNs);
+}
+
+TEST(TraceCpu, MoreSharingMeansMoreMessages)
+{
+    const WorkloadSpec ls = tinySynthetic(TrafficPattern::Uniform,
+                                          SharerMix::lessSharing());
+    WorkloadSpec ms = ls;
+    ms.mix = SharerMix::moreSharing();
+
+    Simulator sim_ls(5);
+    PointToPointNetwork net_ls(sim_ls, simulatedConfig());
+    TraceCpuSystem cpu_ls(sim_ls, net_ls, ls, 42);
+    cpu_ls.run();
+
+    Simulator sim_ms(5);
+    PointToPointNetwork net_ms(sim_ms, simulatedConfig());
+    TraceCpuSystem cpu_ms(sim_ms, net_ms, ms, 42);
+    cpu_ms.run();
+
+    const double ls_per_op =
+        static_cast<double>(cpu_ls.engine().messagesSent())
+        / static_cast<double>(cpu_ls.engine().transactionsCompleted());
+    const double ms_per_op =
+        static_cast<double>(cpu_ms.engine().messagesSent())
+        / static_cast<double>(cpu_ms.engine().transactionsCompleted());
+    EXPECT_GT(ms_per_op, ls_per_op);
+}
+
+TEST(TraceCpu, DirectoryModeWorkloadCompletes)
+{
+    Simulator sim(3);
+    PointToPointNetwork net(sim, simulatedConfig());
+    WorkloadSpec spec = workloadByName("swaptions");
+    spec.instructionsPerCore = 500;
+    const TraceCpuResult res = TraceCpuSystem(sim, net, spec).run();
+    EXPECT_EQ(res.instructions, 500u * 512u);
+    EXPECT_GT(res.coherenceOps, 0u);
+    EXPECT_GT(res.opLatencyNs, 0.0);
+    EXPECT_GT(res.totalJoules, 0.0);
+    EXPECT_GT(res.edp, 0.0);
+}
+
+TEST(TraceCpu, BarnesHasFarFewerMissesThanSwaptions)
+{
+    // Section 6.2: Barnes' low L2 miss rate means it does not stress
+    // any network.
+    WorkloadSpec barnes = workloadByName("barnes");
+    barnes.instructionsPerCore = 500;
+    WorkloadSpec swaptions = workloadByName("swaptions");
+    swaptions.instructionsPerCore = 500;
+
+    Simulator sim_b(3);
+    PointToPointNetwork net_b(sim_b, simulatedConfig());
+    const auto barnes_res =
+        TraceCpuSystem(sim_b, net_b, barnes).run();
+
+    Simulator sim_s(3);
+    PointToPointNetwork net_s(sim_s, simulatedConfig());
+    const auto swaptions_res =
+        TraceCpuSystem(sim_s, net_s, swaptions).run();
+
+    EXPECT_LT(barnes_res.coherenceOps * 5, swaptions_res.coherenceOps);
+}
+
+TEST(TraceCpu, WorkloadCataloguesAreComplete)
+{
+    EXPECT_EQ(applicationWorkloads().size(), 6u);
+    EXPECT_EQ(syntheticWorkloads().size(), 5u);
+    EXPECT_EQ(extendedWorkloads().size(), 3u);
+    EXPECT_EQ(workloadByName("radix").name, "radix");
+    EXPECT_EQ(workloadByName("transpose-MS").mix.sharerCount, 3u);
+    EXPECT_EQ(workloadByName("ocean").neighborFraction, 0.85);
+    EXPECT_THROW(workloadByName("doom"), FatalError);
+}
+
+TEST(TraceCpu, ExtendedWorkloadRuns)
+{
+    Simulator sim(3);
+    PointToPointNetwork net(sim, simulatedConfig());
+    WorkloadSpec spec = workloadByName("fft");
+    spec.instructionsPerCore = 400;
+    const TraceCpuResult res = TraceCpuSystem(sim, net, spec).run();
+    EXPECT_GT(res.coherenceOps, 0u);
+    EXPECT_GT(res.runtime, 0u);
+}
+
+TEST(TraceCpu, RejectsInvalidMissRate)
+{
+    Simulator sim;
+    PointToPointNetwork net(sim, simulatedConfig());
+    WorkloadSpec spec = tinySynthetic(TrafficPattern::Uniform,
+                                      SharerMix::lessSharing());
+    spec.missRatePerInstr = 0.0;
+    EXPECT_THROW(TraceCpuSystem(sim, net, spec), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for dB / dBm / mW arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "photonics/units.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+TEST(Decibel, LinearConversionRoundTrips)
+{
+    for (double db : {-30.0, -3.0, 0.0, 1.0, 10.0, 12.8, 15.0}) {
+        const Decibel d(db);
+        EXPECT_NEAR(Decibel::fromLinear(d.linear()).value(), db, 1e-9);
+    }
+}
+
+TEST(Decibel, KnownLinearValues)
+{
+    EXPECT_NEAR(Decibel(10.0).linear(), 10.0, 1e-12);
+    EXPECT_NEAR(Decibel(20.0).linear(), 100.0, 1e-12);
+    EXPECT_NEAR(Decibel(3.0).linear(), 1.9953, 1e-4);
+    EXPECT_NEAR(Decibel(0.0).linear(), 1.0, 1e-12);
+    EXPECT_NEAR(Decibel(-3.0).linear(), 0.50119, 1e-4);
+}
+
+TEST(Decibel, CascadedLossesAdd)
+{
+    const Decibel total = Decibel(4.0) + Decibel(1.2) + Decibel(6.0);
+    EXPECT_NEAR(total.value(), 11.2, 1e-12);
+    // Adding in dB == multiplying linear ratios.
+    EXPECT_NEAR(total.linear(),
+                Decibel(4.0).linear() * Decibel(1.2).linear()
+                    * Decibel(6.0).linear(),
+                1e-9);
+}
+
+TEST(Decibel, ScalarMultiplyForRepeatedComponents)
+{
+    // 128 off-resonance modulator passes at 0.1 dB each.
+    const Decibel loss = Decibel(0.1) * 128.0;
+    EXPECT_NEAR(loss.value(), 12.8, 1e-12);
+    EXPECT_NEAR(loss.linear(), 19.05, 0.01);
+}
+
+TEST(Decibel, UserDefinedLiteral)
+{
+    EXPECT_DOUBLE_EQ((4.5_dB).value(), 4.5);
+    EXPECT_DOUBLE_EQ((-21.0_dBm).value(), -21.0);
+}
+
+TEST(PowerDbm, MilliwattConversions)
+{
+    EXPECT_NEAR(PowerDbm(0.0).milliwatts(), 1.0, 1e-12);
+    EXPECT_NEAR(PowerDbm(10.0).milliwatts(), 10.0, 1e-12);
+    EXPECT_NEAR(PowerDbm(-21.0).milliwatts(), 0.0079433, 1e-6);
+    EXPECT_NEAR(PowerDbm::fromMilliwatts(10.0).value(), 10.0, 1e-9);
+}
+
+TEST(PowerDbm, AttenuationArithmetic)
+{
+    // 0 dBm launch through a 17 dB link arrives at -17 dBm...
+    const PowerDbm received = PowerDbm(0.0) - Decibel(17.0);
+    EXPECT_NEAR(received.value(), -17.0, 1e-12);
+    // ...leaving 4 dB margin over a -21 dBm sensitivity.
+    const Decibel margin = received - PowerDbm(-21.0);
+    EXPECT_NEAR(margin.value(), 4.0, 1e-12);
+}
+
+TEST(PowerDbm, Ordering)
+{
+    EXPECT_LT(PowerDbm(-21.0), PowerDbm(-17.0));
+    EXPECT_GT(Decibel(4.0), Decibel(0.0));
+}
+
+} // namespace
