@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_circuit_gateways.dir/bench_ablation_circuit_gateways.cc.o"
+  "CMakeFiles/bench_ablation_circuit_gateways.dir/bench_ablation_circuit_gateways.cc.o.d"
+  "CMakeFiles/bench_ablation_circuit_gateways.dir/harness.cc.o"
+  "CMakeFiles/bench_ablation_circuit_gateways.dir/harness.cc.o.d"
+  "bench_ablation_circuit_gateways"
+  "bench_ablation_circuit_gateways.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_circuit_gateways.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

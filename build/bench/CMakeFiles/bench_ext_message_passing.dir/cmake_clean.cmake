@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_message_passing.dir/bench_ext_message_passing.cc.o"
+  "CMakeFiles/bench_ext_message_passing.dir/bench_ext_message_passing.cc.o.d"
+  "CMakeFiles/bench_ext_message_passing.dir/harness.cc.o"
+  "CMakeFiles/bench_ext_message_passing.dir/harness.cc.o.d"
+  "bench_ext_message_passing"
+  "bench_ext_message_passing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_message_passing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_more_apps.dir/bench_ext_more_apps.cc.o"
+  "CMakeFiles/bench_ext_more_apps.dir/bench_ext_more_apps.cc.o.d"
+  "CMakeFiles/bench_ext_more_apps.dir/harness.cc.o"
+  "CMakeFiles/bench_ext_more_apps.dir/harness.cc.o.d"
+  "bench_ext_more_apps"
+  "bench_ext_more_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_more_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_edp.dir/bench_fig10_edp.cc.o"
+  "CMakeFiles/bench_fig10_edp.dir/bench_fig10_edp.cc.o.d"
+  "CMakeFiles/bench_fig10_edp.dir/harness.cc.o"
+  "CMakeFiles/bench_fig10_edp.dir/harness.cc.o.d"
+  "bench_fig10_edp"
+  "bench_fig10_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

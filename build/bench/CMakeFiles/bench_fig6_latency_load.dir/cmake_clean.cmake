@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_latency_load.dir/bench_fig6_latency_load.cc.o"
+  "CMakeFiles/bench_fig6_latency_load.dir/bench_fig6_latency_load.cc.o.d"
+  "CMakeFiles/bench_fig6_latency_load.dir/harness.cc.o"
+  "CMakeFiles/bench_fig6_latency_load.dir/harness.cc.o.d"
+  "bench_fig6_latency_load"
+  "bench_fig6_latency_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_latency_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

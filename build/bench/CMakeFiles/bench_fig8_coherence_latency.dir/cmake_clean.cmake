@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_coherence_latency.dir/bench_fig8_coherence_latency.cc.o"
+  "CMakeFiles/bench_fig8_coherence_latency.dir/bench_fig8_coherence_latency.cc.o.d"
+  "CMakeFiles/bench_fig8_coherence_latency.dir/harness.cc.o"
+  "CMakeFiles/bench_fig8_coherence_latency.dir/harness.cc.o.d"
+  "bench_fig8_coherence_latency"
+  "bench_fig8_coherence_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_coherence_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

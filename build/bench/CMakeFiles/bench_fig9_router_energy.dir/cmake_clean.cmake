@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_router_energy.dir/bench_fig9_router_energy.cc.o"
+  "CMakeFiles/bench_fig9_router_energy.dir/bench_fig9_router_energy.cc.o.d"
+  "CMakeFiles/bench_fig9_router_energy.dir/harness.cc.o"
+  "CMakeFiles/bench_fig9_router_energy.dir/harness.cc.o.d"
+  "bench_fig9_router_energy"
+  "bench_fig9_router_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_router_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_components.dir/bench_table1_components.cc.o"
+  "CMakeFiles/bench_table1_components.dir/bench_table1_components.cc.o.d"
+  "CMakeFiles/bench_table1_components.dir/harness.cc.o"
+  "CMakeFiles/bench_table1_components.dir/harness.cc.o.d"
+  "bench_table1_components"
+  "bench_table1_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

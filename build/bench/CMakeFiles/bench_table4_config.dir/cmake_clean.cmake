@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_config.dir/bench_table4_config.cc.o"
+  "CMakeFiles/bench_table4_config.dir/bench_table4_config.cc.o.d"
+  "CMakeFiles/bench_table4_config.dir/harness.cc.o"
+  "CMakeFiles/bench_table4_config.dir/harness.cc.o.d"
+  "bench_table4_config"
+  "bench_table4_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

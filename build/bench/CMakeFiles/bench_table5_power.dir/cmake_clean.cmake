@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_power.dir/bench_table5_power.cc.o"
+  "CMakeFiles/bench_table5_power.dir/bench_table5_power.cc.o.d"
+  "CMakeFiles/bench_table5_power.dir/harness.cc.o"
+  "CMakeFiles/bench_table5_power.dir/harness.cc.o.d"
+  "bench_table5_power"
+  "bench_table5_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

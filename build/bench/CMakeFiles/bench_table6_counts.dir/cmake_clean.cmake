@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_counts.dir/bench_table6_counts.cc.o"
+  "CMakeFiles/bench_table6_counts.dir/bench_table6_counts.cc.o.d"
+  "CMakeFiles/bench_table6_counts.dir/harness.cc.o"
+  "CMakeFiles/bench_table6_counts.dir/harness.cc.o.d"
+  "bench_table6_counts"
+  "bench_table6_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

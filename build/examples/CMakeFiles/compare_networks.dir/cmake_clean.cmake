@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_networks.dir/compare_networks.cpp.o"
+  "CMakeFiles/compare_networks.dir/compare_networks.cpp.o.d"
+  "compare_networks"
+  "compare_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_study.dir/failure_study.cpp.o"
+  "CMakeFiles/failure_study.dir/failure_study.cpp.o.d"
+  "failure_study"
+  "failure_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_budget_explorer.dir/link_budget_explorer.cpp.o"
+  "CMakeFiles/link_budget_explorer.dir/link_budget_explorer.cpp.o.d"
+  "link_budget_explorer"
+  "link_budget_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_budget_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

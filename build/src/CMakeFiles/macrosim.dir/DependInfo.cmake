@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cache.cc" "src/CMakeFiles/macrosim.dir/arch/cache.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/arch/cache.cc.o.d"
+  "/root/repo/src/arch/directory.cc" "src/CMakeFiles/macrosim.dir/arch/directory.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/arch/directory.cc.o.d"
+  "/root/repo/src/arch/geometry.cc" "src/CMakeFiles/macrosim.dir/arch/geometry.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/arch/geometry.cc.o.d"
+  "/root/repo/src/arch/protocol.cc" "src/CMakeFiles/macrosim.dir/arch/protocol.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/arch/protocol.cc.o.d"
+  "/root/repo/src/net/analysis.cc" "src/CMakeFiles/macrosim.dir/net/analysis.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/net/analysis.cc.o.d"
+  "/root/repo/src/net/circuit_switched.cc" "src/CMakeFiles/macrosim.dir/net/circuit_switched.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/net/circuit_switched.cc.o.d"
+  "/root/repo/src/net/limited_pt2pt.cc" "src/CMakeFiles/macrosim.dir/net/limited_pt2pt.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/net/limited_pt2pt.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/macrosim.dir/net/network.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/net/network.cc.o.d"
+  "/root/repo/src/net/pt2pt.cc" "src/CMakeFiles/macrosim.dir/net/pt2pt.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/net/pt2pt.cc.o.d"
+  "/root/repo/src/net/token_ring.cc" "src/CMakeFiles/macrosim.dir/net/token_ring.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/net/token_ring.cc.o.d"
+  "/root/repo/src/net/tracer.cc" "src/CMakeFiles/macrosim.dir/net/tracer.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/net/tracer.cc.o.d"
+  "/root/repo/src/net/two_phase.cc" "src/CMakeFiles/macrosim.dir/net/two_phase.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/net/two_phase.cc.o.d"
+  "/root/repo/src/photonics/components.cc" "src/CMakeFiles/macrosim.dir/photonics/components.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/photonics/components.cc.o.d"
+  "/root/repo/src/photonics/laser_power.cc" "src/CMakeFiles/macrosim.dir/photonics/laser_power.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/photonics/laser_power.cc.o.d"
+  "/root/repo/src/photonics/link_budget.cc" "src/CMakeFiles/macrosim.dir/photonics/link_budget.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/photonics/link_budget.cc.o.d"
+  "/root/repo/src/sim/event.cc" "src/CMakeFiles/macrosim.dir/sim/event.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/sim/event.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/macrosim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/macrosim.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/macrosim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/workloads/coherence.cc" "src/CMakeFiles/macrosim.dir/workloads/coherence.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/workloads/coherence.cc.o.d"
+  "/root/repo/src/workloads/message_passing.cc" "src/CMakeFiles/macrosim.dir/workloads/message_passing.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/workloads/message_passing.cc.o.d"
+  "/root/repo/src/workloads/packet_injector.cc" "src/CMakeFiles/macrosim.dir/workloads/packet_injector.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/workloads/packet_injector.cc.o.d"
+  "/root/repo/src/workloads/patterns.cc" "src/CMakeFiles/macrosim.dir/workloads/patterns.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/workloads/patterns.cc.o.d"
+  "/root/repo/src/workloads/trace_cpu.cc" "src/CMakeFiles/macrosim.dir/workloads/trace_cpu.cc.o" "gcc" "src/CMakeFiles/macrosim.dir/workloads/trace_cpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alt_configs.cc" "tests/CMakeFiles/macrosim_tests.dir/test_alt_configs.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_alt_configs.cc.o.d"
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/macrosim_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/macrosim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_channel.cc" "tests/CMakeFiles/macrosim_tests.dir/test_channel.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_channel.cc.o.d"
+  "/root/repo/tests/test_coalescing.cc" "tests/CMakeFiles/macrosim_tests.dir/test_coalescing.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_coalescing.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/macrosim_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_directory.cc" "tests/CMakeFiles/macrosim_tests.dir/test_directory.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_directory.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/macrosim_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_event.cc" "tests/CMakeFiles/macrosim_tests.dir/test_event.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_event.cc.o.d"
+  "/root/repo/tests/test_fairness.cc" "tests/CMakeFiles/macrosim_tests.dir/test_fairness.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_fairness.cc.o.d"
+  "/root/repo/tests/test_geometry.cc" "tests/CMakeFiles/macrosim_tests.dir/test_geometry.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_geometry.cc.o.d"
+  "/root/repo/tests/test_injector.cc" "tests/CMakeFiles/macrosim_tests.dir/test_injector.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_injector.cc.o.d"
+  "/root/repo/tests/test_invariants.cc" "tests/CMakeFiles/macrosim_tests.dir/test_invariants.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_invariants.cc.o.d"
+  "/root/repo/tests/test_memory_ports.cc" "tests/CMakeFiles/macrosim_tests.dir/test_memory_ports.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_memory_ports.cc.o.d"
+  "/root/repo/tests/test_message_passing.cc" "tests/CMakeFiles/macrosim_tests.dir/test_message_passing.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_message_passing.cc.o.d"
+  "/root/repo/tests/test_networks.cc" "tests/CMakeFiles/macrosim_tests.dir/test_networks.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_networks.cc.o.d"
+  "/root/repo/tests/test_patterns.cc" "tests/CMakeFiles/macrosim_tests.dir/test_patterns.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_patterns.cc.o.d"
+  "/root/repo/tests/test_photonics.cc" "tests/CMakeFiles/macrosim_tests.dir/test_photonics.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_photonics.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/macrosim_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/macrosim_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_resilience.cc" "tests/CMakeFiles/macrosim_tests.dir/test_resilience.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_resilience.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/macrosim_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_trace_cpu.cc" "tests/CMakeFiles/macrosim_tests.dir/test_trace_cpu.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_trace_cpu.cc.o.d"
+  "/root/repo/tests/test_tracer.cc" "tests/CMakeFiles/macrosim_tests.dir/test_tracer.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_tracer.cc.o.d"
+  "/root/repo/tests/test_units.cc" "tests/CMakeFiles/macrosim_tests.dir/test_units.cc.o" "gcc" "tests/CMakeFiles/macrosim_tests.dir/test_units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/macrosim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
