@@ -22,8 +22,9 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    const std::size_t jobs = jobsArg(argc, argv);
     const std::uint64_t instr = instructionsArg(argc, argv, 1200);
-    const auto matrix = runWorkloadMatrix(instr);
+    const auto matrix = runWorkloadMatrix(instr, 1, jobs);
 
     std::printf("Figure 10: Energy-Delay Product, Normalized to "
                 "Point-to-Point\n\n");

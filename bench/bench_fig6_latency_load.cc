@@ -13,9 +13,11 @@
  */
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "harness.hh"
+#include "sweep.hh"
 
 #include "sim/logging.hh"
 
@@ -29,6 +31,14 @@ struct PatternSweep
 {
     TrafficPattern pattern;
     std::vector<double> loads; // fraction of per-site peak
+};
+
+/** One (pattern, network) curve: its load points up to saturation. */
+struct Curve
+{
+    NetId id;
+    std::vector<InjectorResult> points;
+    double maxSustainedPct = 0.0;
 };
 
 const std::vector<PatternSweep> sweeps = {
@@ -46,64 +56,78 @@ const std::vector<PatternSweep> sweeps = {
 /** Latency past which a load point counts as saturated. */
 constexpr double saturatedNs = 400.0;
 
+/**
+ * Trace one (pattern, network) latency-load curve serially: the
+ * points of a curve feed an early-exit at saturation, so the curve
+ * is the unit of parallelism, not the point.
+ */
+Curve
+traceCurve(const PatternSweep &sweep, NetId id)
+{
+    Curve curve{id, {}, 0.0};
+    for (const double load : sweep.loads) {
+        Simulator sim(17);
+        auto net = makeNetwork(id, sim, simulatedConfig());
+        InjectorConfig cfg;
+        cfg.pattern = sweep.pattern;
+        cfg.load = load;
+        cfg.warmup = 500 * tickNs;
+        cfg.window = 2500 * tickNs;
+        cfg.seed = 17;
+        const InjectorResult r = runOpenLoop(sim, *net, cfg);
+        curve.points.push_back(r);
+        if (r.meanLatencyNs > saturatedNs)
+            break;
+        curve.maxSustainedPct =
+            std::max(curve.maxSustainedPct, r.deliveredPct);
+    }
+    return curve;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const std::size_t jobs = jobsArg(argc, argv);
     std::printf("Figure 6: Latency vs. Offered Load "
                 "(64 B packets, %% of 320 B/ns per site)\n\n");
     std::printf("pattern,network,offered_pct,latency_ns,p99_ns,"
                 "delivered_pct\n");
 
+    SweepRunner runner(jobs);
     for (const PatternSweep &sweep : sweeps) {
-        struct Summary
-        {
-            NetId id;
-            double maxSustainedPct = 0.0;
-        };
-        std::vector<Summary> summaries;
+        const std::string pattern_name =
+            std::string(to_string(sweep.pattern));
 
+        std::vector<SweepJob<Curve>> curve_jobs;
         for (const NetId id : fig6Networks) {
-            Summary summary{id, 0.0};
-            bool saturated = false;
-            for (const double load : sweep.loads) {
-                if (saturated)
-                    break;
-                Simulator sim(17);
-                auto net = makeNetwork(id, sim, simulatedConfig());
-                InjectorConfig cfg;
-                cfg.pattern = sweep.pattern;
-                cfg.load = load;
-                cfg.warmup = 500 * tickNs;
-                cfg.window = 2500 * tickNs;
-                cfg.seed = 17;
-                const InjectorResult r = runOpenLoop(sim, *net, cfg);
-                std::printf("%s,%s,%.2f,%.1f,%.1f,%.2f\n",
-                            std::string(to_string(sweep.pattern))
-                                .c_str(),
-                            netName(id).c_str(), r.offeredLoadPct,
-                            r.meanLatencyNs, r.p99LatencyNs,
-                            r.deliveredPct);
-                std::fflush(stdout);
-                if (r.meanLatencyNs > saturatedNs) {
-                    saturated = true;
-                } else {
-                    summary.maxSustainedPct =
-                        std::max(summary.maxSustainedPct,
-                                 r.deliveredPct);
-                }
-            }
-            summaries.push_back(summary);
+            curve_jobs.push_back(SweepJob<Curve>{
+                pattern_name + " / " + netName(id),
+                [&sweep, id] { return traceCurve(sweep, id); }});
         }
+        const std::vector<Curve> curves =
+            runner.run("fig6-" + pattern_name, std::move(curve_jobs));
+
+        for (const Curve &curve : curves) {
+            for (const InjectorResult &r : curve.points) {
+                std::printf("%s,%s,%.2f,%.1f,%.1f,%.2f\n",
+                            pattern_name.c_str(),
+                            netName(curve.id).c_str(),
+                            r.offeredLoadPct, r.meanLatencyNs,
+                            r.p99LatencyNs, r.deliveredPct);
+            }
+        }
+        std::fflush(stdout);
 
         std::printf("\n# %s: max sustained bandwidth "
                     "(%% of per-site peak)\n",
-                    std::string(to_string(sweep.pattern)).c_str());
-        for (const Summary &s : summaries) {
-            std::printf("#   %-24s %6.2f%%\n", netName(s.id).c_str(),
-                        s.maxSustainedPct);
+                    pattern_name.c_str());
+        for (const Curve &curve : curves) {
+            std::printf("#   %-24s %6.2f%%\n",
+                        netName(curve.id).c_str(),
+                        curve.maxSustainedPct);
         }
         std::printf("\n");
     }

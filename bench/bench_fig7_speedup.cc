@@ -26,10 +26,11 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    const std::size_t jobs = jobsArg(argc, argv);
     const std::uint64_t instr = instructionsArg(argc, argv, 1200);
     std::fprintf(stderr, "fig7: %llu instructions/core\n",
                  static_cast<unsigned long long>(instr));
-    const auto matrix = runWorkloadMatrix(instr);
+    const auto matrix = runWorkloadMatrix(instr, 1, jobs);
 
     std::printf("Figure 7: Speedup vs. Circuit-Switched Network\n\n");
     std::printf("%-14s", "workload");

@@ -9,10 +9,13 @@
  */
 
 #include <cstdio>
+#include <utility>
 
 #include "harness.hh"
+#include "sweep.hh"
 
 #include "sim/logging.hh"
+#include "sim/random.hh"
 
 using namespace macrosim;
 using namespace macrosim::bench;
@@ -21,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    const std::size_t jobs = jobsArg(argc, argv);
     const std::uint64_t instr = instructionsArg(argc, argv, 1200);
 
     std::printf("Figure 9: Router Energy in the Limited "
@@ -29,16 +33,25 @@ main(int argc, char **argv)
     std::printf("%-14s %12s %14s %14s %14s\n", "workload",
                 "router_pct", "router_mJ", "network_mJ", "cpu_mJ");
 
+    std::vector<SweepJob<TraceCpuResult>> sweep;
     for (WorkloadSpec spec : figureWorkloads(instr)) {
-        Simulator sim(1);
-        LimitedPointToPointNetwork net(sim, simulatedConfig());
-        TraceCpuSystem cpu(sim, net, spec, 2);
-        const TraceCpuResult r = cpu.run();
+        const std::uint64_t cell_seed =
+            deriveSeed(1, spec.name, "Limited Point-to-Point");
+        sweep.push_back(SweepJob<TraceCpuResult>{
+            spec.name, [spec = std::move(spec), cell_seed] {
+                Simulator sim(cell_seed);
+                LimitedPointToPointNetwork net(sim, simulatedConfig());
+                TraceCpuSystem cpu(sim, net, spec, mix64(cell_seed));
+                return cpu.run();
+            }});
+    }
+
+    for (const TraceCpuResult &r :
+         SweepRunner(jobs).run("fig9-workloads", std::move(sweep))) {
         std::printf("%-14s %11.2f%% %14.4f %14.4f %14.4f\n",
-                    spec.name.c_str(), r.routerEnergyPct(),
+                    r.workload.c_str(), r.routerEnergyPct(),
                     r.routerJoules * 1e3, r.totalJoules * 1e3,
                     r.cpuJoules * 1e3);
-        std::fflush(stdout);
     }
     return 0;
 }

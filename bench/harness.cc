@@ -1,9 +1,11 @@
 #include "harness.hh"
 
 #include <cstdlib>
-#include <iostream>
+#include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sweep.hh"
 
 namespace macrosim::bench
 {
@@ -55,21 +57,38 @@ figureWorkloads(std::uint64_t instr_per_core)
 }
 
 std::vector<TraceCpuResult>
-runWorkloadMatrix(std::uint64_t instr_per_core, std::uint64_t seed)
+runWorkloadMatrix(std::uint64_t instr_per_core, std::uint64_t seed,
+                  std::size_t jobs, bool progress)
 {
-    std::vector<TraceCpuResult> results;
+    std::vector<SweepJob<TraceCpuResult>> cells;
     for (const WorkloadSpec &spec : figureWorkloads(instr_per_core)) {
         for (const NetId id : allNetworks) {
-            Simulator sim(seed);
-            auto net = makeNetwork(id, sim, simulatedConfig());
-            TraceCpuSystem cpu(sim, *net, spec, seed + 1);
-            results.push_back(cpu.run());
-            std::cerr << "  [matrix] " << spec.name << " on "
-                      << netName(id) << ": runtime "
-                      << results.back().runtimeNs() << " ns\n";
+            const std::string net_name = netName(id);
+            // The cell's streams depend only on (root seed,
+            // workload, network): bit-identical for any jobs value.
+            const std::uint64_t cell_seed =
+                deriveSeed(seed, spec.name, net_name);
+            cells.push_back(SweepJob<TraceCpuResult>{
+                spec.name + " on " + net_name,
+                [spec, id, cell_seed, progress] {
+                    Simulator sim(cell_seed);
+                    auto net = makeNetwork(id, sim, simulatedConfig());
+                    TraceCpuSystem cpu(sim, *net, spec,
+                                       mix64(cell_seed));
+                    TraceCpuResult r = cpu.run();
+                    if (progress) {
+                        std::ostringstream line;
+                        line << "  [matrix] " << spec.name << " on "
+                             << netName(id) << ": runtime "
+                             << r.runtimeNs() << " ns";
+                        sweepLog(line.str());
+                    }
+                    return r;
+                }});
         }
     }
-    return results;
+    return SweepRunner(jobs, progress)
+        .run("workload-matrix", std::move(cells));
 }
 
 const TraceCpuResult &
@@ -93,6 +112,12 @@ instructionsArg(int argc, char **argv, std::uint64_t fallback)
             return static_cast<std::uint64_t>(v);
     }
     return fallback;
+}
+
+std::size_t
+jobsArg(int &argc, char **argv)
+{
+    return stripJobsFlag(argc, argv);
 }
 
 } // namespace macrosim::bench

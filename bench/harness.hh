@@ -9,6 +9,7 @@
 #define MACROSIM_BENCH_HARNESS_HH
 
 #include <array>
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,11 +56,16 @@ std::unique_ptr<Network> makeNetwork(NetId id, Simulator &sim,
 std::vector<WorkloadSpec> figureWorkloads(std::uint64_t instr_per_core);
 
 /**
- * Run every (workload x network) pair of figures 7-10 and collect
- * the results. Emits one progress line per run to stderr.
+ * Run every (workload x network) pair of figures 7-10, fanned out
+ * over @p jobs worker threads (0 = --jobs / MACROSIM_JOBS /
+ * hardware_concurrency), and collect the results in figure order.
+ * Each cell runs in its own Simulator with a seed derived from
+ * (@p seed, workload, network), so the matrix is bit-identical for
+ * every jobs value. Emits one progress line per cell to stderr.
  */
 std::vector<TraceCpuResult>
-runWorkloadMatrix(std::uint64_t instr_per_core, std::uint64_t seed = 1);
+runWorkloadMatrix(std::uint64_t instr_per_core, std::uint64_t seed = 1,
+                  std::size_t jobs = 0, bool progress = true);
 
 /** Locate a result in the matrix. */
 const TraceCpuResult &find(const std::vector<TraceCpuResult> &matrix,
@@ -69,6 +75,14 @@ const TraceCpuResult &find(const std::vector<TraceCpuResult> &matrix,
 /** Instructions per core: argv[1] if given, else @p fallback. */
 std::uint64_t instructionsArg(int argc, char **argv,
                               std::uint64_t fallback);
+
+/**
+ * Worker-thread knob shared by every bench: strips "--jobs N" from
+ * argv (so positional arguments keep their place) and returns N, or
+ * 0 when unset — in which case SweepRunner falls back to
+ * MACROSIM_JOBS and then hardware_concurrency().
+ */
+std::size_t jobsArg(int &argc, char **argv);
 
 } // namespace macrosim::bench
 

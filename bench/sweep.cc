@@ -1,0 +1,92 @@
+#include "sweep.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace macrosim::bench
+{
+
+namespace
+{
+
+std::mutex logMutex;
+
+} // namespace
+
+std::size_t
+defaultJobs()
+{
+    if (const char *env = std::getenv("MACROSIM_JOBS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::size_t
+stripJobsFlag(int &argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        long v = 0;
+        int consumed = 0;
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            v = std::atol(argv[i] + 7);
+            consumed = 1;
+        } else if (std::strcmp(argv[i], "--jobs") == 0
+                   && i + 1 < argc) {
+            v = std::atol(argv[i + 1]);
+            consumed = 2;
+        } else {
+            continue;
+        }
+        for (int j = i; j + consumed <= argc; ++j)
+            argv[j] = argv[j + consumed];
+        argc -= consumed;
+        return v > 0 ? static_cast<std::size_t>(v) : 0;
+    }
+    return 0;
+}
+
+void
+sweepLog(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(logMutex);
+    std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+SweepRunner::SweepRunner(std::size_t jobs, bool progress)
+    : jobs_(jobs > 0 ? jobs : defaultJobs()), progress_(progress)
+{}
+
+void
+SweepRunner::noteJobDone(const std::string &label, double ns,
+                         double *busy_ns)
+{
+    std::lock_guard<std::mutex> lock(logMutex);
+    *busy_ns += ns;
+    if (progress_)
+        std::fprintf(stderr, "  [job] %s: %.1f ms\n", label.c_str(),
+                     ns * 1e-6);
+}
+
+void
+SweepRunner::noteSweepDone(const std::string &name, std::size_t count,
+                           double wall_ns, double busy_ns)
+{
+    if (!progress_)
+        return;
+    std::lock_guard<std::mutex> lock(logMutex);
+    std::fprintf(stderr,
+                 "[sweep] %s: %zu jobs on %zu threads, %.1f ms wall, "
+                 "%.1f ms cpu, speedup %.2fx\n",
+                 name.c_str(), count, jobs_, wall_ns * 1e-6,
+                 busy_ns * 1e-6,
+                 wall_ns > 0.0 ? busy_ns / wall_ns : 0.0);
+}
+
+} // namespace macrosim::bench

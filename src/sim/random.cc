@@ -12,10 +12,7 @@ std::uint64_t
 splitmix64(std::uint64_t &x)
 {
     x += 0x9e3779b97f4a7c15ULL;
-    std::uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+    return mix64(x);
 }
 
 constexpr std::uint64_t
@@ -25,6 +22,46 @@ rotl(std::uint64_t x, int k)
 }
 
 } // namespace
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t v)
+{
+    // Advance along the splitmix64 stream, perturbed by the value.
+    return mix64(h + 0x9e3779b97f4a7c15ULL + v);
+}
+
+std::uint64_t
+hashCombine(std::uint64_t h, std::string_view s)
+{
+    // FNV-1a over the bytes, then one mixing step so short strings
+    // still avalanche into all 64 bits.
+    std::uint64_t fnv = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        fnv ^= static_cast<unsigned char>(c);
+        fnv *= 0x100000001b3ULL;
+    }
+    // Length breaks up concatenation collisions across fields
+    // ("ab","c" vs "a","bc") before the streams are combined.
+    return hashCombine(hashCombine(h, fnv), s.size());
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t root, std::string_view workload,
+           std::string_view network)
+{
+    std::uint64_t h = mix64(root);
+    h = hashCombine(h, workload);
+    h = hashCombine(h, network);
+    return h;
+}
 
 Rng::Rng(std::uint64_t seed)
 {

@@ -13,9 +13,37 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 
 namespace macrosim
 {
+
+/**
+ * The splitmix64 finalizer (Vigna): a stateless 64-bit mixing
+ * function with full avalanche. It is both the Rng seeding step and
+ * the building block of deriveSeed() below.
+ */
+std::uint64_t mix64(std::uint64_t x);
+
+/** Absorb a 64-bit value into a running hash. */
+std::uint64_t hashCombine(std::uint64_t h, std::uint64_t v);
+
+/** Absorb a string (e.g. a workload or network name) into a hash. */
+std::uint64_t hashCombine(std::uint64_t h, std::string_view s);
+
+/**
+ * Derive an independent per-job RNG seed from a root seed and the
+ * job's identity labels (typically workload and network name).
+ *
+ * The derivation is a pure function of its arguments, so a sweep
+ * that fans jobs across threads gets bit-identical per-job random
+ * streams regardless of thread count, completion order, or which
+ * subset of the matrix is run. Distinct label tuples land in
+ * distinct splitmix64 streams, so per-job sequences are
+ * statistically independent.
+ */
+std::uint64_t deriveSeed(std::uint64_t root, std::string_view workload,
+                         std::string_view network);
 
 /** xoshiro256++ generator (Blackman & Vigna), seeded via splitmix64. */
 class Rng

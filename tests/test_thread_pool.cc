@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the fixed-size ThreadPool behind the sweep engine:
+ * concurrency bounds, drain-on-destruction, exception propagation,
+ * and the FIFO guarantee a 1-thread pool gives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/thread_pool.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([i, &ran] {
+            ++ran;
+            return i * i;
+        }));
+    }
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, UsesAtMostRequestedThreads)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.threadCount(), 3u);
+
+    std::mutex mutex;
+    std::set<std::thread::id> ids;
+    std::atomic<int> live{0};
+    std::atomic<int> peak{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.submit([&] {
+            const int now = ++live;
+            int seen = peak.load();
+            while (now > seen && !peak.compare_exchange_weak(seen, now))
+                ;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                ids.insert(std::this_thread::get_id());
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            --live;
+        }));
+    }
+    for (auto &f : futures)
+        f.get();
+    EXPECT_LE(ids.size(), 3u);
+    EXPECT_LE(peak.load(), 3);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    EXPECT_EQ(pool.submit([] { return 42; }).get(), 42);
+}
+
+TEST(ThreadPool, DrainsOnDestruction)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i) {
+            // Futures dropped on the floor: the destructor alone
+            // must guarantee completion.
+            pool.submit([&ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                ++ran;
+            });
+        }
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, PropagatesExceptionsToCaller)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 1; });
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("job failed");
+    });
+    EXPECT_EQ(ok.get(), 1);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+
+    // A thrown task must not take its worker down with it.
+    EXPECT_EQ(pool.submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPool, SingleThreadPreservesSubmissionOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(pool.submit([i, &order] {
+            order.push_back(i);
+        }));
+    for (auto &f : futures)
+        f.get();
+    ASSERT_EQ(order.size(), 200u);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+} // namespace
