@@ -23,6 +23,7 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     const std::size_t jobs = jobsArg(argc, argv);
+    simStatsArg(argc, argv);
     const std::uint64_t instr = instructionsArg(argc, argv, 1200);
     const auto matrix = runWorkloadMatrix(instr, 1, jobs);
 

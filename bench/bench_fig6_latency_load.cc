@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -75,6 +76,12 @@ traceCurve(const PatternSweep &sweep, NetId id)
         cfg.window = 2500 * tickNs;
         cfg.seed = 17;
         const InjectorResult r = runOpenLoop(sim, *net, cfg);
+        if (simStatsEnabled()) {
+            std::ostringstream label;
+            label << to_string(sweep.pattern) << " / " << netName(id)
+                  << " @ " << r.offeredLoadPct << "%";
+            dumpSimStats(label.str(), sim);
+        }
         curve.points.push_back(r);
         if (r.meanLatencyNs > saturatedNs)
             break;
@@ -91,6 +98,7 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     const std::size_t jobs = jobsArg(argc, argv);
+    simStatsArg(argc, argv);
     std::printf("Figure 6: Latency vs. Offered Load "
                 "(64 B packets, %% of 320 B/ns per site)\n\n");
     std::printf("pattern,network,offered_pct,latency_ns,p99_ns,"

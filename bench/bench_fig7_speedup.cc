@@ -27,6 +27,7 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     const std::size_t jobs = jobsArg(argc, argv);
+    simStatsArg(argc, argv);
     const std::uint64_t instr = instructionsArg(argc, argv, 1200);
     std::fprintf(stderr, "fig7: %llu instructions/core\n",
                  static_cast<unsigned long long>(instr));

@@ -25,6 +25,7 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     const std::size_t jobs = jobsArg(argc, argv);
+    simStatsArg(argc, argv);
     const std::uint64_t instr = instructionsArg(argc, argv, 1200);
 
     std::printf("Figure 9: Router Energy in the Limited "

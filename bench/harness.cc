@@ -1,10 +1,12 @@
 #include "harness.hh"
 
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "sim/logging.hh"
 #include "sim/random.hh"
+#include "sim/stats.hh"
 #include "sweep.hh"
 
 namespace macrosim::bench
@@ -70,12 +72,13 @@ runWorkloadMatrix(std::uint64_t instr_per_core, std::uint64_t seed,
                 deriveSeed(seed, spec.name, net_name);
             cells.push_back(SweepJob<TraceCpuResult>{
                 spec.name + " on " + net_name,
-                [spec, id, cell_seed, progress] {
+                [spec, id, net_name, cell_seed, progress] {
                     Simulator sim(cell_seed);
                     auto net = makeNetwork(id, sim, simulatedConfig());
                     TraceCpuSystem cpu(sim, *net, spec,
                                        mix64(cell_seed));
                     TraceCpuResult r = cpu.run();
+                    dumpSimStats(spec.name + " on " + net_name, sim);
                     if (progress) {
                         std::ostringstream line;
                         line << "  [matrix] " << spec.name << " on "
@@ -118,6 +121,62 @@ std::size_t
 jobsArg(int &argc, char **argv)
 {
     return stripJobsFlag(argc, argv);
+}
+
+namespace
+{
+
+/** Set by simStatsArg(); the env fallback is evaluated lazily. */
+bool simStatsFlag = false;
+
+bool
+simStatsEnv()
+{
+    const char *env = std::getenv("MACROSIM_SIM_STATS");
+    return env != nullptr && *env != '\0'
+           && std::strcmp(env, "0") != 0;
+}
+
+} // namespace
+
+bool
+simStatsArg(int &argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sim-stats") != 0)
+            continue;
+        for (int j = i; j + 1 <= argc; ++j)
+            argv[j] = argv[j + 1];
+        --argc;
+        simStatsFlag = true;
+        break;
+    }
+    return simStatsEnabled();
+}
+
+bool
+simStatsEnabled()
+{
+    return simStatsFlag || simStatsEnv();
+}
+
+void
+dumpSimStats(const std::string &label, const Simulator &sim)
+{
+    if (!simStatsEnabled())
+        return;
+    StatGroup group;
+    sim.events().regStats(group);
+    std::ostringstream os;
+    group.dump(os);
+    // Fold the "name value" lines into one stderr line per cell so
+    // parallel sweeps stay greppable.
+    std::string folded = os.str();
+    for (char &c : folded) {
+        if (c == '\n')
+            c = ' ';
+    }
+    sweepLog("  [simstats] " + label + ": " + folded);
 }
 
 } // namespace macrosim::bench

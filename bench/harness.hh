@@ -84,6 +84,26 @@ std::uint64_t instructionsArg(int argc, char **argv,
  */
 std::size_t jobsArg(int &argc, char **argv);
 
+/**
+ * Event-core observability knob shared by every bench: strips
+ * "--sim-stats" from argv and enables per-simulation EventQueueStats
+ * reporting. The MACROSIM_SIM_STATS environment variable (any
+ * non-empty value except "0") enables it too, flag or no flag.
+ *
+ * @return Whether stats reporting is now enabled.
+ */
+bool simStatsArg(int &argc, char **argv);
+
+/** Whether --sim-stats / MACROSIM_SIM_STATS is in effect. */
+bool simStatsEnabled();
+
+/**
+ * If simStatsEnabled(), dump @p sim's event-queue stats (registered
+ * through a StatGroup) as one "[simstats] label: ..." stderr line.
+ * Thread-safe: sweep cells call this from worker threads.
+ */
+void dumpSimStats(const std::string &label, const Simulator &sim);
+
 } // namespace macrosim::bench
 
 #endif // MACROSIM_BENCH_HARNESS_HH

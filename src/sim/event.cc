@@ -1,9 +1,70 @@
 #include "sim/event.hh"
 
+#include <algorithm>
+#include <limits>
+#include <utility>
+
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace macrosim
 {
+
+namespace
+{
+
+/** Split an EventId into (gen, slot index); slot is biased by one so
+ *  invalidEventId (0) never decodes to a valid slot. */
+constexpr std::uint32_t
+idSlotPlusOne(EventId id)
+{
+    return static_cast<std::uint32_t>(id & 0xffffffffu);
+}
+
+constexpr std::uint32_t
+idGen(EventId id)
+{
+    return static_cast<std::uint32_t>(id >> 32);
+}
+
+constexpr EventId
+makeId(std::uint32_t gen, std::uint32_t slot)
+{
+    return (static_cast<EventId>(gen) << 32) |
+           static_cast<EventId>(slot + 1);
+}
+
+} // namespace
+
+std::uint32_t
+EventQueue::allocSlot(Callback cb)
+{
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        if (slots_.size() >
+            std::numeric_limits<std::uint32_t>::max() - 2) {
+            panic("EventQueue: slot arena overflow (", slots_.size(),
+                  " concurrent events)");
+        }
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    slots_[slot].cb = std::move(cb);
+    return slot;
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Slot &s = slots_[slot];
+    s.cb = nullptr;
+    s.tombstone = false;
+    ++s.gen; // stale EventIds now fail the generation check
+    freeSlots_.push_back(slot);
+}
 
 EventId
 EventQueue::schedule(Tick when, Callback cb)
@@ -12,49 +73,203 @@ EventQueue::schedule(Tick when, Callback cb)
         panic("EventQueue::schedule: tried to schedule at tick ", when,
               " which is before now (", now_, ")");
     }
-    const EventId id = nextId_++;
-    queue_.push(Entry{when, nextSeq_++, id, std::move(cb)});
-    pending_.insert(id);
-    return id;
+    if (!cb)
+        panic("EventQueue::schedule: empty callback");
+    const std::uint32_t slot = allocSlot(std::move(cb));
+    heap_.push_back(HeapRecord{when, nextSeq_++, slot});
+    siftUp(heap_.size() - 1);
+    ++pending_;
+    ++stats_.scheduled;
+    if (pending_ > stats_.peakPending)
+        stats_.peakPending = pending_;
+    return makeId(slots_[slot].gen, slot);
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    // Cancellation is lazy: the entry stays queued but is skipped when
-    // popped, because its id is no longer in pending_.
-    return pending_.erase(id) == 1;
+    const std::uint32_t biased = idSlotPlusOne(id);
+    if (biased == 0 || biased > slots_.size())
+        return false;
+    Slot &s = slots_[biased - 1];
+    // A live slot holds a callback; executed/cancelled/free slots do
+    // not, and recycled slots fail the generation check.
+    if (!s.cb || s.tombstone || idGen(id) != s.gen)
+        return false;
+    s.tombstone = true;
+    s.cb = nullptr; // release captured state immediately
+    --pending_;
+    ++tombstones_;
+    ++stats_.cancelled;
+    maybeCompact();
+    return true;
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    const HeapRecord rec = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / arity;
+        if (!earlier(rec, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = rec;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    const HeapRecord rec = heap_[i];
+    for (;;) {
+        const std::size_t first = arity * i + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + arity, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (earlier(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!earlier(heap_[best], rec))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = rec;
+}
+
+void
+EventQueue::popRoot()
+{
+    const HeapRecord last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_[0] = last;
+        siftDown(0);
+    }
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap_.empty() && slots_[heap_[0].slot].tombstone) {
+        freeSlot(heap_[0].slot);
+        --tombstones_;
+        popRoot();
+    }
+}
+
+void
+EventQueue::executeRoot()
+{
+    const HeapRecord root = heap_[0];
+    Callback cb = std::move(slots_[root.slot].cb);
+    now_ = root.when;
+    freeSlot(root.slot);
+    popRoot();
+    --pending_;
+    ++stats_.executed;
+    if (burst_ > 0 && root.when == lastExecTick_)
+        ++burst_;
+    else
+        burst_ = 1;
+    lastExecTick_ = root.when;
+    if (burst_ > stats_.maxSameTickBurst)
+        stats_.maxSameTickBurst = burst_;
+    // All bookkeeping is consistent before the callback runs, so it
+    // may freely schedule() and cancel() (and grow the arena).
+    cb();
+}
+
+void
+EventQueue::maybeCompact()
+{
+    if (tombstones_ >= compactMinTombstones &&
+        tombstones_ * 2 > heap_.size()) {
+        compact();
+    }
+}
+
+void
+EventQueue::compact()
+{
+    std::size_t out = 0;
+    for (const HeapRecord &rec : heap_) {
+        if (slots_[rec.slot].tombstone)
+            freeSlot(rec.slot);
+        else
+            heap_[out++] = rec;
+    }
+    heap_.resize(out);
+    tombstones_ = 0;
+    // Floyd heapify: (when, seq) is a strict total order, so the
+    // rebuilt heap pops in exactly the original schedule order.
+    if (out > 1) {
+        for (std::size_t i = (out - 2) / arity + 1; i-- > 0;)
+            siftDown(i);
+    }
+    ++stats_.compactions;
 }
 
 bool
 EventQueue::runOne()
 {
-    while (!queue_.empty()) {
-        // priority_queue::top() is const; move out via const_cast is
-        // the standard workaround, safe because we pop immediately.
-        Entry entry = std::move(const_cast<Entry &>(queue_.top()));
-        queue_.pop();
-        if (pending_.erase(entry.id) == 0)
-            continue; // cancelled
-        now_ = entry.when;
-        ++executed_;
-        entry.cb();
-        return true;
-    }
-    return false;
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+    executeRoot();
+    return true;
 }
 
 std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
     std::uint64_t ran = 0;
-    while (!queue_.empty()) {
-        if (queue_.top().when > limit)
+    for (;;) {
+        // Clear tombstones first: a cancelled record with
+        // when <= limit must not let an event beyond the limit run
+        // (nor drag now() past it).
+        skipCancelled();
+        if (heap_.empty() || heap_[0].when > limit)
             break;
-        if (runOne())
-            ++ran;
+        executeRoot();
+        ++ran;
     }
     return ran;
+}
+
+void
+EventQueue::regStats(StatGroup &group, const std::string &prefix) const
+{
+    const EventQueueStats *s = &stats_;
+    group.add(prefix + ".scheduled", s, [](const void *p) {
+        return static_cast<double>(
+            static_cast<const EventQueueStats *>(p)->scheduled);
+    });
+    group.add(prefix + ".cancelled", s, [](const void *p) {
+        return static_cast<double>(
+            static_cast<const EventQueueStats *>(p)->cancelled);
+    });
+    group.add(prefix + ".executed", s, [](const void *p) {
+        return static_cast<double>(
+            static_cast<const EventQueueStats *>(p)->executed);
+    });
+    group.add(prefix + ".peak_pending", s, [](const void *p) {
+        return static_cast<double>(
+            static_cast<const EventQueueStats *>(p)->peakPending);
+    });
+    group.add(prefix + ".compactions", s, [](const void *p) {
+        return static_cast<double>(
+            static_cast<const EventQueueStats *>(p)->compactions);
+    });
+    group.add(prefix + ".max_same_tick_burst", s, [](const void *p) {
+        return static_cast<double>(
+            static_cast<const EventQueueStats *>(p)->maxSameTickBurst);
+    });
 }
 
 } // namespace macrosim

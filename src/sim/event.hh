@@ -5,6 +5,15 @@
  * The queue delivers callbacks in (tick, insertion-order) order, so
  * same-tick events run FIFO and every run is deterministic. Events may
  * be cancelled through the EventId returned by schedule().
+ *
+ * Layout: an explicit 4-ary heap of small (when, seq, slot) records
+ * over a contiguous slot arena that owns the callbacks. An EventId
+ * encodes (generation, slot), so cancel() is a bounds check plus two
+ * array writes — no hash lookup anywhere on the schedule/cancel/run
+ * path. Cancellation tombstones the slot in place and releases the
+ * callback immediately (captured state, e.g. Message payloads, is
+ * freed promptly); tombstoned heap records are skipped at pop time
+ * and swept out wholesale when they exceed half the heap.
  */
 
 #ifndef MACROSIM_SIM_EVENT_HH
@@ -12,8 +21,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <string>
 #include <vector>
 
 #include "sim/ticks.hh"
@@ -21,11 +29,39 @@
 namespace macrosim
 {
 
-/** Opaque identifier for a scheduled event; used for cancellation. */
+class StatGroup;
+
+/**
+ * Opaque identifier for a scheduled event; used for cancellation.
+ * Encodes (slot generation << 32 | slot index + 1), so stale handles
+ * — already run, already cancelled, or never issued — are rejected in
+ * O(1) without any lookup structure.
+ */
 using EventId = std::uint64_t;
 
 /** An EventId value that is never returned by schedule(). */
 constexpr EventId invalidEventId = 0;
+
+/**
+ * Observability counters for one EventQueue. Plain fields keep the
+ * hot path branch-free; registration with a StatGroup happens via
+ * EventQueue::regStats().
+ */
+struct EventQueueStats
+{
+    /** Events accepted by schedule(). */
+    std::uint64_t scheduled = 0;
+    /** Successful cancel() calls. */
+    std::uint64_t cancelled = 0;
+    /** Events whose callback ran. */
+    std::uint64_t executed = 0;
+    /** High-water mark of pending (uncancelled) events. */
+    std::uint64_t peakPending = 0;
+    /** Tombstone sweeps of the heap (see EventQueue::compact()). */
+    std::uint64_t compactions = 0;
+    /** Longest run of consecutively executed same-tick events. */
+    std::uint64_t maxSameTickBurst = 0;
+};
 
 /**
  * A time-ordered queue of callbacks.
@@ -50,6 +86,7 @@ class EventQueue
      * Schedule @p cb to run at absolute time @p when.
      *
      * @pre when >= now(): the past is immutable.
+     * @pre cb is callable.
      * @return A handle usable with cancel().
      */
     EventId schedule(Tick when, Callback cb);
@@ -64,6 +101,10 @@ class EventQueue
     /**
      * Cancel a pending event.
      *
+     * The callback (and everything it captured) is destroyed before
+     * this returns; the heap record lingers as a tombstone until it
+     * reaches the top or a compaction sweeps it.
+     *
      * @return true if the event was pending and is now cancelled;
      *         false if it already ran, was already cancelled, or the
      *         id is invalid.
@@ -71,10 +112,10 @@ class EventQueue
     bool cancel(EventId id);
 
     /** Whether any uncancelled event is pending. */
-    bool empty() const { return pending_.empty(); }
+    bool empty() const { return pending_ == 0; }
 
     /** Number of pending (uncancelled) events. */
-    std::size_t size() const { return pending_.size(); }
+    std::size_t size() const { return pending_; }
 
     /**
      * Run the next pending event (advancing now()).
@@ -84,47 +125,97 @@ class EventQueue
     bool runOne();
 
     /**
-     * Run events until the queue drains or simulated time would exceed
-     * @p limit. Events scheduled exactly at @p limit still run.
+     * Run events until the queue drains or the next *pending* event
+     * lies beyond @p limit. Events scheduled exactly at @p limit
+     * still run; now() never advances past @p limit here, even when
+     * cancelled tombstones with earlier timestamps top the heap.
      *
      * @return The number of events executed.
      */
     std::uint64_t runUntil(Tick limit = maxTick);
 
     /** Total events executed since construction. */
-    std::uint64_t executed() const { return executed_; }
+    std::uint64_t executed() const { return stats_.executed; }
+
+    /** Observability counters (monotonic since construction). */
+    const EventQueueStats &stats() const { return stats_; }
+
+    /**
+     * Register the stats with @p group as "<prefix>.scheduled" etc.
+     * The queue must outlive any dump through @p group.
+     */
+    void regStats(StatGroup &group,
+                  const std::string &prefix = "simcore") const;
 
   private:
-    struct Entry
+    /** Children per heap node; 4 keeps the tree shallow and the
+     *  sift-down child scan within one cache line of records. */
+    static constexpr std::size_t arity = 4;
+
+    /** Sweep tombstones once they are this many and outnumber live
+     *  records (see maybeCompact()). */
+    static constexpr std::uint64_t compactMinTombstones = 64;
+
+    /** Arena cell owning one scheduled callback.
+     *
+     *  Lifecycle: free (no cb, no tombstone) -> live (cb set) ->
+     *  either executed (freed straight away) or tombstoned (cb
+     *  destroyed, flag set) until its heap record is popped or swept,
+     *  then free again with gen bumped so stale EventIds miss.
+     */
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t gen = 0;
+        bool tombstone = false;
+    };
+
+    /** Heap record: 24 bytes, trivially copyable, no callback. */
+    struct HeapRecord
     {
         Tick when;
         std::uint64_t seq;
-        EventId id;
-        // shared across the priority-queue copies via the callback
-        // being moved in once; Entry itself is move-only in practice,
-        // but priority_queue requires copyability of the comparator
-        // only, so we store the callback directly.
-        Callback cb;
+        std::uint32_t slot;
     };
 
-    struct Later
+    static bool
+    earlier(const HeapRecord &a, const HeapRecord &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    std::uint32_t allocSlot(Callback cb);
+    void freeSlot(std::uint32_t slot);
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    void popRoot();
+
+    /** Drop tombstoned records off the top of the heap. */
+    void skipCancelled();
+
+    /** Pop and run the root record. @pre root is pending. */
+    void executeRoot();
+
+    /** Rebuild the heap without tombstones when they dominate. */
+    void maybeCompact();
+    void compact();
 
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
-    EventId nextId_ = 1;
-    std::uint64_t executed_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-    /** Ids scheduled but not yet run or cancelled. */
-    std::unordered_set<EventId> pending_;
+    std::size_t pending_ = 0;
+    std::uint64_t tombstones_ = 0;
+
+    /** Same-tick burst tracking (stats only). */
+    Tick lastExecTick_ = 0;
+    std::uint64_t burst_ = 0;
+
+    std::vector<HeapRecord> heap_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    EventQueueStats stats_;
 };
 
 } // namespace macrosim

@@ -31,6 +31,7 @@ class Simulator
     Simulator &operator=(const Simulator &) = delete;
 
     EventQueue &events() { return events_; }
+    const EventQueue &events() const { return events_; }
     Rng &rng() { return rng_; }
 
     Tick now() const { return events_.now(); }

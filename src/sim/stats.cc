@@ -39,6 +39,13 @@ void
 Histogram::sample(double x)
 {
     ++total_;
+    if (!std::isfinite(x)) {
+        // A NaN would fall through both range guards below (every
+        // comparison is false) and index out of bounds; quarantine
+        // non-finite samples so the moments stay meaningful too.
+        ++nonfinite_;
+        return;
+    }
     acc_.sample(x);
     if (x < lo_) {
         ++underflow_;
@@ -75,7 +82,7 @@ void
 Histogram::reset()
 {
     std::fill(bins_.begin(), bins_.end(), 0);
-    underflow_ = overflow_ = total_ = 0;
+    underflow_ = overflow_ = nonfinite_ = total_ = 0;
     acc_.reset();
 }
 

@@ -47,7 +47,9 @@ class Accumulator
     double sum() const { return sum_; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    /** Welford running mean: stable for large-offset samples where
+     *  sum()/count() loses low-order bits to cancellation. */
+    double mean() const { return count_ ? mean_ : 0.0; }
     double variance() const { return count_ ? m2_ / count_ : 0.0; }
     double stddev() const;
 
@@ -81,6 +83,8 @@ class Histogram
     std::uint64_t count() const { return total_; }
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t underflow() const { return underflow_; }
+    /** NaN / +-inf samples; kept out of the moments and buckets. */
+    std::uint64_t nonfinite() const { return nonfinite_; }
     double mean() const { return acc_.mean(); }
     double max() const { return acc_.max(); }
 
@@ -100,6 +104,7 @@ class Histogram
     std::vector<std::uint64_t> bins_;
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
+    std::uint64_t nonfinite_ = 0;
     std::uint64_t total_ = 0;
     Accumulator acc_;
 };

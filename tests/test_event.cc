@@ -5,10 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
 #include <vector>
 
 #include "sim/event.hh"
 #include "sim/simulator.hh"
+#include "sim/stats.hh"
 
 namespace
 {
@@ -129,6 +134,134 @@ TEST(EventQueue, ExecutedCountsOnlyRunEvents)
     q.schedule(3, [] {});
     q.runUntil();
     EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueue, RunUntilLimitIgnoresCancelledTombstones)
+{
+    // Regression: a cancelled entry at when <= limit used to satisfy
+    // the limit check, letting runOne() fall through to an event
+    // beyond the limit (and drag now() past it) — which silently
+    // skewed every warmup/measure window that cancelled a timeout.
+    EventQueue q;
+    bool b_ran = false;
+    EventId a = q.schedule(10, [] {});
+    q.schedule(50, [&] { b_ran = true; });
+    ASSERT_TRUE(q.cancel(a));
+    EXPECT_EQ(q.runUntil(20), 0u);
+    EXPECT_FALSE(b_ran);
+    EXPECT_LE(q.now(), 20u);
+    EXPECT_EQ(q.size(), 1u);
+    // The event past the limit still runs once the limit allows it.
+    EXPECT_EQ(q.runUntil(50), 1u);
+    EXPECT_TRUE(b_ran);
+    EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, RunUntilManyTombstonesBeforeLimit)
+{
+    EventQueue q;
+    int ran = 0;
+    std::vector<EventId> ids;
+    for (Tick t = 1; t <= 100; ++t)
+        ids.push_back(q.schedule(t, [&] { ++ran; }));
+    for (EventId id : ids)
+        q.cancel(id);
+    q.schedule(200, [&] { ++ran; });
+    EXPECT_EQ(q.runUntil(150), 0u);
+    EXPECT_EQ(ran, 0);
+    EXPECT_LE(q.now(), 150u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelReleasesCapturedStateImmediately)
+{
+    EventQueue q;
+    auto payload = std::make_shared<int>(7);
+    EventId id = q.schedule(10, [payload] { (void)*payload; });
+    EXPECT_EQ(payload.use_count(), 2);
+    ASSERT_TRUE(q.cancel(id));
+    // The tombstone stays queued, but the callback (and its capture)
+    // must already be gone.
+    EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(EventQueue, StaleIdOfRecycledSlotIsRejected)
+{
+    EventQueue q;
+    EventId first = q.schedule(1, [] {});
+    q.runUntil();
+    // The arena slot of `first` is recycled here; the stale handle
+    // must not cancel the new event.
+    EventId second = q.schedule(2, [] {});
+    EXPECT_FALSE(q.cancel(first));
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_TRUE(q.cancel(second));
+}
+
+TEST(EventQueue, StatsCountCoreActivity)
+{
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back(q.schedule(10, [] {}));
+    q.cancel(ids[3]);
+    q.schedule(20, [] {});
+    q.runUntil();
+    const EventQueueStats &s = q.stats();
+    EXPECT_EQ(s.scheduled, 9u);
+    EXPECT_EQ(s.cancelled, 1u);
+    EXPECT_EQ(s.executed, 8u);
+    EXPECT_EQ(s.peakPending, 8u); // the cancel preceded schedule #9
+    EXPECT_EQ(s.maxSameTickBurst, 7u); // tick 10 minus the cancel
+    EXPECT_EQ(q.executed(), s.executed);
+}
+
+TEST(EventQueue, TombstoneCompactionPreservesOrder)
+{
+    // Cancel enough events that the heap compacts, then check the
+    // survivors still run in exact (tick, FIFO) order.
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> doomed;
+    for (int i = 0; i < 1000; ++i) {
+        const Tick when = static_cast<Tick>(1 + (i * 37) % 500);
+        if (i % 4 == 0) {
+            q.schedule(when, [&order, i] { order.push_back(i); });
+        } else {
+            doomed.push_back(q.schedule(when, [] {
+                ADD_FAILURE() << "cancelled event ran";
+            }));
+        }
+    }
+    for (EventId id : doomed)
+        ASSERT_TRUE(q.cancel(id));
+    EXPECT_GE(q.stats().compactions, 1u);
+    q.runUntil();
+    ASSERT_EQ(order.size(), 250u);
+    // Reconstruct the expected order: by (when, insertion seq).
+    std::vector<std::pair<Tick, int>> expected;
+    for (int i = 0; i < 1000; i += 4)
+        expected.emplace_back(static_cast<Tick>(1 + (i * 37) % 500), i);
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(order[i], expected[i].second);
+}
+
+TEST(EventQueue, RegStatsDumpsThroughStatGroup)
+{
+    EventQueue q;
+    q.schedule(1, [] {});
+    q.runUntil();
+    StatGroup g;
+    q.regStats(g, "evq");
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("evq.scheduled 1"), std::string::npos);
+    EXPECT_NE(os.str().find("evq.executed 1"), std::string::npos);
+    EXPECT_NE(os.str().find("evq.peak_pending 1"), std::string::npos);
 }
 
 TEST(EventQueue, SchedulingInPastPanics)

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -57,6 +58,29 @@ TEST(Accumulator, NegativeValues)
     EXPECT_DOUBLE_EQ(a.min(), -3.0);
 }
 
+TEST(Accumulator, WelfordMeanIsStableForLargeOffsets)
+{
+    // Regression: mean() used to return sum()/count() while sample()
+    // maintained the Welford mean for the variance — and the two
+    // diverge on large offsets. 100k samples of the same 1e9+0.1
+    // value drift sum()/count() by ~1e-3; the Welford mean (delta is
+    // exactly zero after the first sample) must stay exact.
+    Accumulator a;
+    const double x0 = 1e9 + 0.1;
+    for (int i = 0; i < 100000; ++i)
+        a.sample(x0);
+    EXPECT_DOUBLE_EQ(a.mean(), x0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+
+    // Alternating +-0.25 around the offset: mean recovers the offset
+    // and the deviation survives the offset's magnitude.
+    Accumulator b;
+    for (int i = 0; i < 10000; ++i)
+        b.sample(1e9 + (i % 2 ? 0.25 : -0.25));
+    EXPECT_NEAR(b.mean(), 1e9, 1e-5);
+    EXPECT_NEAR(b.stddev(), 0.25, 1e-6);
+}
+
 TEST(Histogram, RejectsBadRange)
 {
     EXPECT_THROW(Histogram(1.0, 1.0, 4), FatalError);
@@ -84,6 +108,28 @@ TEST(Histogram, OverUnderflow)
     EXPECT_EQ(h.underflow(), 1u);
     EXPECT_EQ(h.overflow(), 2u);
     EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, NonFiniteSamplesAreQuarantined)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(5.0);
+    h.sample(std::numeric_limits<double>::quiet_NaN());
+    h.sample(std::numeric_limits<double>::infinity());
+    h.sample(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.nonfinite(), 3u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    // The moments only see the finite sample.
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 5.0);
+    std::uint64_t binned = 0;
+    for (auto b : h.buckets())
+        binned += b;
+    EXPECT_EQ(binned, 1u);
+    h.reset();
+    EXPECT_EQ(h.nonfinite(), 0u);
 }
 
 TEST(Histogram, QuantileMedianOfUniform)
