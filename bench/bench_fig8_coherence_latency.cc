@@ -24,8 +24,11 @@ main(int argc, char **argv)
     setQuiet(true);
     const std::size_t jobs = jobsArg(argc, argv);
     simStatsArg(argc, argv);
-    const std::uint64_t instr = instructionsArg(argc, argv, 1200);
-    const auto matrix = runWorkloadMatrix(instr, 1, jobs);
+    const TelemetryOptions topt = telemetryArgs(argc, argv);
+    const std::uint64_t instr =
+        instructionsArg(argc, argv, topt.smoke ? 200 : 1200);
+    const auto matrix =
+        runWorkloadMatrixWithTelemetry(instr, 1, jobs, topt);
 
     std::printf("Figure 8: Latency per Coherence Operation (ns)\n\n");
     std::printf("%-14s", "workload");

@@ -1,10 +1,15 @@
 #include "harness.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
+#include <utility>
 
+#include "net/tracer.hh"
 #include "sim/logging.hh"
+#include "sim/telemetry/json.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sweep.hh"
@@ -60,25 +65,72 @@ figureWorkloads(std::uint64_t instr_per_core)
 
 std::vector<TraceCpuResult>
 runWorkloadMatrix(std::uint64_t instr_per_core, std::uint64_t seed,
-                  std::size_t jobs, bool progress)
+                  std::size_t jobs, bool progress,
+                  const TelemetryOptions &opts,
+                  MatrixTelemetry *telemetry_out)
 {
+    const std::vector<WorkloadSpec> workloads =
+        figureWorkloads(instr_per_core);
+
+    // One pre-sized slot per cell: workers fill their own slot, the
+    // merge below walks the slots in submission order, so the
+    // combined trace/CSV is bit-identical for any --jobs count.
+    std::vector<CellTelemetry> slots(workloads.size()
+                                     * allNetworks.size());
+
     std::vector<SweepJob<TraceCpuResult>> cells;
-    for (const WorkloadSpec &spec : figureWorkloads(instr_per_core)) {
+    std::uint32_t cell_idx = 0;
+    for (const WorkloadSpec &spec : workloads) {
         for (const NetId id : allNetworks) {
             const std::string net_name = netName(id);
             // The cell's streams depend only on (root seed,
             // workload, network): bit-identical for any jobs value.
             const std::uint64_t cell_seed =
                 deriveSeed(seed, spec.name, net_name);
+            CellTelemetry *slot =
+                telemetry_out ? &slots[cell_idx] : nullptr;
+            const std::uint32_t pid = cell_idx++;
             cells.push_back(SweepJob<TraceCpuResult>{
                 spec.name + " on " + net_name,
-                [spec, id, net_name, cell_seed, progress] {
+                [spec, id, net_name, cell_seed, progress, &opts,
+                 slot, pid] {
+                    const std::string label =
+                        spec.name + " on " + net_name;
                     Simulator sim(cell_seed);
                     auto net = makeNetwork(id, sim, simulatedConfig());
+
+                    const bool tracing = slot && opts.tracing();
+                    std::unique_ptr<MessageTracer> tracer;
+                    std::unique_ptr<PeriodicSampler> counters;
+                    std::unique_ptr<SnapshotRecorder> snapshots;
+                    if (tracing) {
+                        tracer = std::make_unique<MessageTracer>(*net);
+                        counters = occupancyCounterSampler(
+                            sim, slot->trace, pid, opts.period());
+                        sim.events().setProfiling(true);
+                    }
+                    if (slot && opts.metrics()) {
+                        snapshots = std::make_unique<SnapshotRecorder>(
+                            sim, opts.period());
+                    }
+                    if (opts.profile)
+                        sim.events().setProfiling(true);
+
                     TraceCpuSystem cpu(sim, *net, spec,
                                        mix64(cell_seed));
                     TraceCpuResult r = cpu.run();
-                    dumpSimStats(spec.name + " on " + net_name, sim);
+
+                    if (tracing) {
+                        tracer->writeTrace(slot->trace, pid, label);
+                        traceEventProfile(slot->trace, pid, sim);
+                    }
+                    if (snapshots) {
+                        slot->metricsCsv = "# " + label + "\n"
+                            + snapshots->csv();
+                    }
+                    if (opts.profile)
+                        dumpEventProfile(label, sim);
+                    dumpSimStats(label, sim);
                     if (progress) {
                         std::ostringstream line;
                         line << "  [matrix] " << spec.name << " on "
@@ -90,8 +142,44 @@ runWorkloadMatrix(std::uint64_t instr_per_core, std::uint64_t seed,
                 }});
         }
     }
-    return SweepRunner(jobs, progress)
-        .run("workload-matrix", std::move(cells));
+    std::vector<TraceCpuResult> results =
+        SweepRunner(jobs, progress)
+            .run("workload-matrix", std::move(cells));
+
+    if (telemetry_out) {
+        for (CellTelemetry &slot : slots) {
+            telemetry_out->trace.append(std::move(slot.trace));
+            telemetry_out->metricsCsv += slot.metricsCsv;
+        }
+    }
+    return results;
+}
+
+std::vector<TraceCpuResult>
+runWorkloadMatrixWithTelemetry(std::uint64_t instr_per_core,
+                               std::uint64_t seed, std::size_t jobs,
+                               const TelemetryOptions &opts)
+{
+    const bool collect = opts.tracing() || opts.metrics();
+    MatrixTelemetry telemetry;
+    std::vector<TraceCpuResult> matrix = runWorkloadMatrix(
+        instr_per_core, seed, jobs, true, opts,
+        collect ? &telemetry : nullptr);
+
+    if (opts.metrics() && !opts.metricsPath.empty())
+        writeTextFile(opts.metricsPath, telemetry.metricsCsv);
+
+    if (opts.tracing()) {
+        std::ostringstream json;
+        telemetry.trace.writeJson(json);
+        writeTextFile(opts.tracePath, json.str());
+        std::string error;
+        if (!jsonValid(json.str(), &error)) {
+            fatal("workload matrix trace '", opts.tracePath,
+                  "' is not valid JSON: ", error);
+        }
+    }
+    return matrix;
 }
 
 const TraceCpuResult &
@@ -160,15 +248,85 @@ simStatsEnabled()
     return simStatsFlag || simStatsEnv();
 }
 
+namespace
+{
+
+/**
+ * Strip "--<name>=<value>" (or "--<name> <value>") from argv.
+ * @return Whether the flag was found; @p value receives the text.
+ */
+bool
+stripValueFlag(int &argc, char **argv, const char *name,
+               std::string *value)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        int consumed = 0;
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size())
+            == 0) {
+            *value = argv[i] + prefix.size();
+            consumed = 1;
+        } else if (std::strcmp(argv[i],
+                               (std::string("--") + name).c_str())
+                       == 0
+                   && i + 1 < argc) {
+            *value = argv[i + 1];
+            consumed = 2;
+        } else {
+            continue;
+        }
+        for (int j = i; j + consumed <= argc; ++j)
+            argv[j] = argv[j + consumed];
+        argc -= consumed;
+        return true;
+    }
+    return false;
+}
+
+/** Strip a bare "--<name>" switch; @return whether it was present. */
+bool
+stripSwitch(int &argc, char **argv, const char *name)
+{
+    const std::string flag = std::string("--") + name;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag.c_str()) != 0)
+            continue;
+        for (int j = i; j + 1 <= argc; ++j)
+            argv[j] = argv[j + 1];
+        --argc;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TelemetryOptions
+telemetryArgs(int &argc, char **argv)
+{
+    TelemetryOptions opts;
+    stripValueFlag(argc, argv, "trace", &opts.tracePath);
+    stripValueFlag(argc, argv, "metrics", &opts.metricsPath);
+    std::string period;
+    if (stripValueFlag(argc, argv, "metrics-period", &period)) {
+        const long long v = std::atoll(period.c_str());
+        if (v <= 0)
+            fatal("telemetryArgs: --metrics-period must be a "
+                  "positive tick count, got '", period, "'");
+        opts.metricsPeriod = static_cast<Tick>(v);
+    }
+    opts.profile = stripSwitch(argc, argv, "profile");
+    opts.smoke = stripSwitch(argc, argv, "smoke");
+    return opts;
+}
+
 void
 dumpSimStats(const std::string &label, const Simulator &sim)
 {
     if (!simStatsEnabled())
         return;
-    StatGroup group;
-    sim.events().regStats(group);
     std::ostringstream os;
-    group.dump(os);
+    sim.telemetry().dump(os);
     // Fold the "name value" lines into one stderr line per cell so
     // parallel sweeps stay greppable.
     std::string folded = os.str();
@@ -177,6 +335,68 @@ dumpSimStats(const std::string &label, const Simulator &sim)
             c = ' ';
     }
     sweepLog("  [simstats] " + label + ": " + folded);
+}
+
+void
+dumpEventProfile(const std::string &label, const Simulator &sim)
+{
+    if (!sim.events().profiling())
+        return;
+    std::ostringstream os;
+    os << "  [profile] " << label << "\n";
+    sim.events().dumpProfile(os);
+    std::string table = os.str();
+    if (!table.empty() && table.back() == '\n')
+        table.pop_back();
+    sweepLog(table);
+}
+
+void
+traceEventProfile(TraceSink &sink, std::uint32_t pid,
+                  const Simulator &sim)
+{
+    if (!sim.events().profiling())
+        return;
+    constexpr std::uint32_t profileTid = 0xFFFF;
+    sink.threadName(pid, profileTid, "event-loop profile");
+    Tick at = 0;
+    for (const EventProfileEntry &e : sim.events().profile()) {
+        // Lay the tags end to end, 1 tick per wall-clock ns, so the
+        // strip reads as a per-tag share of the loop's wall time.
+        const Tick dur = std::max<Tick>(
+            static_cast<Tick>(e.wallNs + 0.5), 1);
+        sink.span(std::string(e.tag), "profile", pid, profileTid,
+                  at, dur,
+                  {{"count", std::to_string(e.count)},
+                   {"wall_ns", jsonNumber(e.wallNs)}});
+        at += dur;
+    }
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("writeTextFile: cannot open '", path, "' for writing");
+    os << text;
+    os.close();
+    if (!os)
+        fatal("writeTextFile: write to '", path, "' failed");
+}
+
+std::unique_ptr<PeriodicSampler>
+occupancyCounterSampler(Simulator &sim, TraceSink &sink,
+                        std::uint32_t pid, Tick period)
+{
+    return std::make_unique<PeriodicSampler>(
+        sim, period, [&sim, &sink, pid](Tick now) {
+            sim.telemetry().forEach(
+                [&sink, pid, now](const std::string &name, double v) {
+                    if (name.ends_with("occupancy"))
+                        sink.counter(name, pid, now, v);
+                });
+        });
 }
 
 } // namespace macrosim::bench

@@ -19,6 +19,8 @@
 #include "net/pt2pt.hh"
 #include "net/token_ring.hh"
 #include "net/two_phase.hh"
+#include "sim/telemetry/sampler.hh"
+#include "sim/telemetry/trace.hh"
 #include "workloads/packet_injector.hh"
 #include "workloads/trace_cpu.hh"
 
@@ -56,16 +58,91 @@ std::unique_ptr<Network> makeNetwork(NetId id, Simulator &sim,
 std::vector<WorkloadSpec> figureWorkloads(std::uint64_t instr_per_core);
 
 /**
+ * Telemetry knobs shared by every bench binary, stripped from argv
+ * by telemetryArgs():
+ *   --trace=<file>           write a Perfetto trace-event JSON
+ *   --metrics=<file>         write periodic StatRegistry snapshots
+ *   --metrics-period=<ticks> snapshot period (default 1 us when
+ *                            --metrics is given without it)
+ *   --profile                dump the event-loop self-profile table
+ *   --smoke                  reduced run for CI smoke tests
+ */
+struct TelemetryOptions
+{
+    std::string tracePath;
+    std::string metricsPath;
+    Tick metricsPeriod = 0;
+    bool profile = false;
+    bool smoke = false;
+
+    bool tracing() const { return !tracePath.empty(); }
+    bool metrics() const
+    {
+        return metricsPeriod > 0 || !metricsPath.empty();
+    }
+
+    /** The snapshot period to use: the flag, or 1 us unset. */
+    Tick
+    period() const
+    {
+        return metricsPeriod > 0 ? metricsPeriod : tickUs;
+    }
+};
+
+/**
+ * Strip the telemetry flags (see TelemetryOptions) from argv,
+ * leaving positional arguments where the benches expect them.
+ */
+TelemetryOptions telemetryArgs(int &argc, char **argv);
+
+/**
+ * Per-run telemetry collected by a matrix/curve cell: a Perfetto
+ * event stream plus a snapshot CSV, merged by the caller in
+ * deterministic submission order after the sweep drains.
+ */
+struct CellTelemetry
+{
+    TraceSink trace;
+    std::string metricsCsv;
+};
+
+/** Telemetry for a whole workload matrix run. */
+struct MatrixTelemetry
+{
+    TraceSink trace;
+    std::string metricsCsv;
+};
+
+/**
  * Run every (workload x network) pair of figures 7-10, fanned out
  * over @p jobs worker threads (0 = --jobs / MACROSIM_JOBS /
  * hardware_concurrency), and collect the results in figure order.
  * Each cell runs in its own Simulator with a seed derived from
  * (@p seed, workload, network), so the matrix is bit-identical for
  * every jobs value. Emits one progress line per cell to stderr.
+ *
+ * With @p telemetry_out non-null, each cell additionally records a
+ * message-lifecycle trace (when opts.tracing()) and periodic stat
+ * snapshots (when opts.metrics()); both are merged into
+ * @p telemetry_out in cell-submission order, so the output is
+ * bit-identical for any --jobs count.
  */
 std::vector<TraceCpuResult>
 runWorkloadMatrix(std::uint64_t instr_per_core, std::uint64_t seed = 1,
-                  std::size_t jobs = 0, bool progress = true);
+                  std::size_t jobs = 0, bool progress = true,
+                  const TelemetryOptions &opts = {},
+                  MatrixTelemetry *telemetry_out = nullptr);
+
+/**
+ * runWorkloadMatrix() plus the file side of the telemetry flags:
+ * writes --trace (validated as JSON, fatal() if malformed) and
+ * --metrics outputs when requested. The shared entry point for the
+ * figure-7..10 mains.
+ */
+std::vector<TraceCpuResult>
+runWorkloadMatrixWithTelemetry(std::uint64_t instr_per_core,
+                               std::uint64_t seed, std::size_t jobs,
+                               const TelemetryOptions &opts);
 
 /** Locate a result in the matrix. */
 const TraceCpuResult &find(const std::vector<TraceCpuResult> &matrix,
@@ -98,11 +175,41 @@ bool simStatsArg(int &argc, char **argv);
 bool simStatsEnabled();
 
 /**
- * If simStatsEnabled(), dump @p sim's event-queue stats (registered
- * through a StatGroup) as one "[simstats] label: ..." stderr line.
- * Thread-safe: sweep cells call this from worker threads.
+ * If simStatsEnabled(), dump @p sim's full telemetry registry
+ * (simcore, net, arch subtrees) as one "[simstats] label: ..."
+ * stderr line. Thread-safe: sweep cells call this from worker
+ * threads.
  */
 void dumpSimStats(const std::string &label, const Simulator &sim);
+
+/**
+ * Dump @p sim's event-loop self-profile table to stderr under
+ * @p label (one serialized block; sweep cells may call this from
+ * worker threads). No-op unless the sim's profiler was enabled.
+ */
+void dumpEventProfile(const std::string &label, const Simulator &sim);
+
+/**
+ * Append @p sim's event-loop self-profile to @p sink as spans on a
+ * synthetic "event-loop profile" thread of @p pid: one span per tag,
+ * laid end to end, span length = wall-clock ns spent (1 ns = 1 tick),
+ * with count/wall_ns args. Gives the trace the profiler's story
+ * without a separate report.
+ */
+void traceEventProfile(TraceSink &sink, std::uint32_t pid,
+                       const Simulator &sim);
+
+/** Write @p text to @p path; fatal() on any I/O failure. */
+void writeTextFile(const std::string &path, const std::string &text);
+
+/**
+ * Arm a sampler that snapshots every "*.occupancy"-suffixed stat of
+ * @p sim's registry into @p sink as Perfetto counter tracks, every
+ * @p period ticks. Keep the returned sampler alive for the run.
+ */
+std::unique_ptr<PeriodicSampler>
+occupancyCounterSampler(Simulator &sim, TraceSink &sink,
+                        std::uint32_t pid, Tick period);
 
 } // namespace macrosim::bench
 

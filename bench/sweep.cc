@@ -64,14 +64,37 @@ SweepRunner::SweepRunner(std::size_t jobs, bool progress)
 {}
 
 void
+SweepRunner::beginSweep(std::size_t total,
+                        std::chrono::steady_clock::time_point start)
+{
+    std::lock_guard<std::mutex> lock(logMutex);
+    total_ = total;
+    done_ = 0;
+    sweepStart_ = start;
+}
+
+void
 SweepRunner::noteJobDone(const std::string &label, double ns,
                          double *busy_ns)
 {
     std::lock_guard<std::mutex> lock(logMutex);
     *busy_ns += ns;
-    if (progress_)
-        std::fprintf(stderr, "  [job] %s: %.1f ms\n", label.c_str(),
-                     ns * 1e-6);
+    ++done_;
+    if (!progress_)
+        return;
+    // ETA from wall elapsed / cells finished: cells complete in the
+    // same ratio no matter how many workers run them, so the estimate
+    // holds for any --jobs value.
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - sweepStart_)
+            .count();
+    const double eta_s = done_ < total_
+        ? elapsed_s / static_cast<double>(done_)
+            * static_cast<double>(total_ - done_)
+        : 0.0;
+    std::fprintf(stderr, "  [job %zu/%zu] %s: %.1f ms (eta %.1f s)\n",
+                 done_, total_, label.c_str(), ns * 1e-6, eta_s);
 }
 
 void

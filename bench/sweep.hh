@@ -81,6 +81,7 @@ class SweepRunner
         using Clock = std::chrono::steady_clock;
         const Clock::time_point start = Clock::now();
         double busy_ns = 0.0;
+        beginSweep(sweep.size(), start);
 
         std::vector<std::future<Result>> futures;
         futures.reserve(sweep.size());
@@ -113,7 +114,16 @@ class SweepRunner
     }
 
   private:
-    /** Log one finished job and accumulate busy time (locked). */
+    /** Reset the live progress counters for a new sweep (locked). */
+    void beginSweep(std::size_t total,
+                    std::chrono::steady_clock::time_point start);
+
+    /**
+     * Log one finished job and accumulate busy time (locked). The
+     * progress line reports cells done/total plus an ETA projected
+     * from wall-clock elapsed over cells finished — worker-count
+     * agnostic, so it stays honest for any --jobs value.
+     */
     void noteJobDone(const std::string &label, double ns,
                      double *busy_ns);
 
@@ -123,6 +133,11 @@ class SweepRunner
 
     std::size_t jobs_;
     bool progress_;
+
+    /** Live progress state of the sweep currently in run(). */
+    std::size_t total_ = 0;
+    std::size_t done_ = 0;
+    std::chrono::steady_clock::time_point sweepStart_;
 };
 
 } // namespace macrosim::bench

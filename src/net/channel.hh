@@ -42,13 +42,18 @@ class BusyResource
     {
         const Tick start = nextFree(earliest);
         busyUntil_ = start + duration;
+        busyTicks_ += duration;
         return start;
     }
 
     Tick busyUntil() const { return busyUntil_; }
 
+    /** Cumulative reserved time; busyTicks()/now is the occupancy. */
+    Tick busyTicks() const { return busyTicks_; }
+
   private:
     Tick busyUntil_ = 0;
+    Tick busyTicks_ = 0;
 };
 
 /** A WDM optical channel: serialization bandwidth + flight time. */
@@ -112,6 +117,9 @@ class OpticalChannel
     }
 
     Tick busyUntil() const { return line_.busyUntil(); }
+
+    /** Cumulative serialization time carried by this channel. */
+    Tick busyTicks() const { return line_.busyTicks(); }
 
   private:
     std::uint32_t wavelengths_;

@@ -33,6 +33,30 @@ CircuitSwitchedTorus::CircuitSwitchedTorus(Simulator &sim,
     dataSerialization64_ = OpticalChannel(circuitLambdas_, 0)
         .serialization(64);
     primeEnergyModel();
+    registerTelemetry();
+}
+
+void
+CircuitSwitchedTorus::registerStats(StatRegistry &registry,
+                                    const std::string &prefix)
+{
+    Network::registerStats(registry, prefix);
+    registry.add(prefix + ".circuits", [this] {
+        return static_cast<double>(circuits_);
+    });
+    // The serial per-site control routers are this network's
+    // bottleneck; their mean occupancy shows how close the setup
+    // plane is to saturation.
+    registry.add(prefix + ".ctrl_occupancy", [this] {
+        const Tick t = now();
+        if (t == 0 || ctrlRouters_.empty())
+            return 0.0;
+        double busy = 0.0;
+        for (const BusyResource &r : ctrlRouters_)
+            busy += static_cast<double>(r.busyTicks());
+        return busy / static_cast<double>(t)
+            / static_cast<double>(ctrlRouters_.size());
+    });
 }
 
 std::vector<SiteId>
@@ -96,7 +120,8 @@ CircuitSwitchedTorus::dispatch(SiteId site)
             [this, msg = std::move(msg),
              path = std::move(path)]() mutable {
                 setupHop(std::move(msg), std::move(path), 0);
-            });
+            },
+            "net.cswitch.setup");
     }
 }
 
@@ -120,7 +145,8 @@ CircuitSwitchedTorus::setupHop(Message msg, std::vector<SiteId> path,
         [this, msg = std::move(msg), path = std::move(path),
          hop_idx]() mutable {
             setupHop(std::move(msg), std::move(path), hop_idx + 1);
-        });
+        },
+        "net.cswitch.setup");
 }
 
 void
@@ -136,6 +162,7 @@ CircuitSwitchedTorus::establish(Message msg, std::size_t path_hops)
     // teardown message releases the gateway.
     const Tick data_ser = OpticalChannel(circuitLambdas_, 0)
         .serialization(msg.bytes);
+    msg.serialization = data_ser;
     const Tick data_sent = ack_at_src + data_ser;
     const Tick delivered = data_sent + path_flight;
     const Tick gateway_free = data_sent + ctrlSerialization_;
@@ -150,7 +177,7 @@ CircuitSwitchedTorus::establish(Message msg, std::size_t path_hops)
     sim().events().schedule(gateway_free, [this, src] {
         ++freeGateways_[src];
         dispatch(src);
-    });
+    }, "net.cswitch.release");
     deliverAt(std::move(msg), delivered);
 }
 

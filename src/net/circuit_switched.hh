@@ -48,9 +48,13 @@ class CircuitSwitchedTorus : public Network
                          std::uint32_t gateways_per_site = 4);
 
     std::string_view name() const override { return "Circuit-Switched"; }
+    std::string_view statName() const override { return "cswitch"; }
 
     ComponentCounts componentCounts() const override;
     std::vector<LaserPowerSpec> opticalPower() const override;
+
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) override;
 
     /** Data-path width of one circuit, in wavelengths. */
     std::uint32_t circuitLambdas() const { return circuitLambdas_; }

@@ -25,6 +25,30 @@ LimitedPointToPointNetwork::LimitedPointToPointNetwork(
         }
     }
     primeEnergyModel();
+    registerTelemetry();
+}
+
+void
+LimitedPointToPointNetwork::registerStats(StatRegistry &registry,
+                                          const std::string &prefix)
+{
+    Network::registerStats(registry, prefix);
+    registry.add(prefix + ".forwarded", [this] {
+        return static_cast<double>(forwarded_);
+    });
+    registry.add(prefix + ".rerouted", [this] {
+        return static_cast<double>(rerouted_);
+    });
+    registry.add(prefix + ".occupancy", [this] {
+        const Tick t = now();
+        if (t == 0 || channels_.empty())
+            return 0.0;
+        double busy = 0.0;
+        for (const auto &[key, ch] : channels_)
+            busy += static_cast<double>(ch.busyTicks());
+        return busy / static_cast<double>(t)
+            / static_cast<double>(channels_.size());
+    });
 }
 
 OpticalChannel &
@@ -73,6 +97,7 @@ LimitedPointToPointNetwork::route(Message msg)
 {
     if (arePeers(msg.src, msg.dst)) {
         OpticalChannel &ch = peerChannel(msg.src, msg.dst);
+        msg.serialization = ch.serialization(msg.bytes);
         const Tick arrival = ch.transmit(now() + interfaceOverhead_,
                                          msg.bytes);
         chargeOpticalHop(msg);
@@ -95,13 +120,15 @@ LimitedPointToPointNetwork::route(Message msg)
     }
     ++forwarded_;
     OpticalChannel &first = peerChannel(msg.src, via);
+    msg.serialization = first.serialization(msg.bytes);
     const Tick at_via = first.transmit(now() + interfaceOverhead_,
                                        msg.bytes);
     chargeOpticalHop(msg);
     sim().events().schedule(at_via + interfaceOverhead_,
                             [this, msg, via]() mutable {
                                 forwardLeg(msg, via);
-                            });
+                            },
+                            "net.lpt2pt.forward");
 }
 
 void

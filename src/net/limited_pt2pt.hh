@@ -37,8 +37,13 @@ class LimitedPointToPointNetwork : public Network
         return "Limited Point-to-Point";
     }
 
+    std::string_view statName() const override { return "lpt2pt"; }
+
     ComponentCounts componentCounts() const override;
     std::vector<LaserPowerSpec> opticalPower() const override;
+
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) override;
 
     /** Wavelengths per peer channel (8 -> 20 GB/s). */
     std::uint32_t wavelengthsPerChannel() const { return lambdas_; }

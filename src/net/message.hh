@@ -50,6 +50,12 @@ struct Message
     Tick injected = 0;
     /** When the destination received the last byte. */
     Tick delivered = 0;
+    /**
+     * Ticks spent clocking the packet through the modulator bank of
+     * the (first) optical data channel it crossed. Stamped by the
+     * topology's route(); zero for intra-site loopback deliveries.
+     */
+    Tick serialization = 0;
 
     /** Free-form field for workload drivers. */
     std::uint64_t cookie = 0;
@@ -58,6 +64,13 @@ struct Message
     latency() const
     {
         return delivered - created;
+    }
+
+    /** Time spent queued in the workload before injection. */
+    Tick
+    queueing() const
+    {
+        return injected - created;
     }
 };
 

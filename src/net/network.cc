@@ -1,5 +1,6 @@
 #include "net/network.hh"
 
+#include "photonics/link_budget.hh"
 #include "sim/logging.hh"
 
 namespace macrosim
@@ -47,7 +48,7 @@ Network::deliverAt(Message msg, Tick when)
                                               : defaultHandler_;
         if (h)
             h(msg);
-    });
+    }, "net.deliver");
 }
 
 double
@@ -75,27 +76,47 @@ void
 Network::primeEnergyModel()
 {
     energy_.setStaticWatts(staticWatts());
+    // The paper engineers every link to the 17 dB un-switched budget
+    // with 4 dB of margin (launch 0 dBm, sensitivity -21 dBm). A
+    // laser power-loss factor above the margin's linear equivalent
+    // means this topology's extra loss has eaten through the margin
+    // and the link no longer closes at base launch power.
+    const Decibel margin =
+        (launchPower - receiverSensitivity) - unswitchedLinkBudget;
+    for (const LaserPowerSpec &spec : opticalPower()) {
+        if (spec.lossFactor > margin.linear()) {
+            warn_once("network '", name(), "' subnetwork '", spec.name,
+                      "': laser power-loss factor ", spec.lossFactor,
+                      " exceeds the ", margin.value(),
+                      " dB link margin (factor ", margin.linear(),
+                      "); links need extra launch power to close");
+        }
+    }
 }
 
 void
-Network::registerStats(StatGroup &group, const std::string &prefix)
+Network::registerStats(StatRegistry &registry,
+                       const std::string &prefix)
 {
-    group.addCounter(prefix + ".injected", stats_.injected);
-    group.addCounter(prefix + ".delivered", stats_.delivered);
-    group.addCounter(prefix + ".bytes", stats_.bytesDelivered);
-    group.addMean(prefix + ".latency_ns", stats_.latencyNs);
-    group.add(prefix + ".optical_bits", &energy_,
-              [](const void *p) {
-                  return static_cast<double>(
-                      static_cast<const EnergyModel *>(p)
-                          ->opticalBits());
-              });
-    group.add(prefix + ".router_bytes", &energy_,
-              [](const void *p) {
-                  return static_cast<double>(
-                      static_cast<const EnergyModel *>(p)
-                          ->routerBytes());
-              });
+    registry.addCounter(prefix + ".injected", stats_.injected);
+    registry.addCounter(prefix + ".delivered", stats_.delivered);
+    registry.addCounter(prefix + ".bytes", stats_.bytesDelivered);
+    registry.addMean(prefix + ".latency_ns", stats_.latencyNs);
+    const EnergyModel *e = &energy_;
+    registry.add(prefix + ".optical_bits", [e] {
+        return static_cast<double>(e->opticalBits());
+    });
+    registry.add(prefix + ".router_bytes", [e] {
+        return static_cast<double>(e->routerBytes());
+    });
+}
+
+void
+Network::registerTelemetry()
+{
+    statPrefix_ = sim_.telemetry().uniquePrefix(
+        "net." + std::string(statName()));
+    registerStats(sim_.telemetry(), statPrefix_);
 }
 
 } // namespace macrosim

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -72,6 +73,9 @@ class Network
 
     virtual std::string_view name() const = 0;
 
+    /** Short lowercase slug for dotted stat names ("net.<slug>.*"). */
+    virtual std::string_view statName() const = 0;
+
     /**
      * Accept a packet for delivery. Stamps injection time, serves
      * intra-site traffic over the one-cycle loopback, and hands
@@ -121,23 +125,43 @@ class Network
      */
     double staticWatts() const;
 
-    /** Refresh the energy model's static power from the descriptors.
-     *  Must be called once by the concrete class's constructor (the
+    /** Refresh the energy model's static power from the descriptors,
+     *  and warn (once per call site) if any subnetwork's laser budget
+     *  has eaten through the engineered 4 dB link margin. Must be
+     *  called once by the concrete class's constructor (the
      *  descriptors are virtual and unavailable during base
      *  construction). */
     void primeEnergyModel();
 
     /**
      * Register this network's statistics under "<prefix>." in a
-     * StatGroup for uniform reporting (gem5-style stat dumps). The
-     * group pulls values at dump time, so register once and dump
-     * whenever.
+     * StatRegistry for uniform reporting (gem5-style stat dumps). The
+     * registry pulls values at dump time, so register once and dump
+     * whenever. Topologies override to add their own stats (channel
+     * occupancy, arbitration counters) and call the base first.
      */
-    void registerStats(StatGroup &group, const std::string &prefix);
+    virtual void registerStats(StatRegistry &registry,
+                               const std::string &prefix);
+
+    /**
+     * Dotted prefix of this network's stats in the simulation-wide
+     * registry ("net.<name>", uniquified); empty until the concrete
+     * constructor has run registerTelemetry().
+     */
+    const std::string &statPrefix() const { return statPrefix_; }
 
   protected:
     /** Deliver inter-site traffic; implemented by each topology. */
     virtual void route(Message msg) = 0;
+
+    /**
+     * Self-register in the simulation-wide registry under
+     * "net.<name()>" (uniquified per simulation, so a second network
+     * of the same kind lands at "net.<name>#2"). Called by the
+     * concrete constructor, after members referenced by stat getters
+     * exist.
+     */
+    void registerTelemetry();
 
     /**
      * Schedule final delivery of @p msg at @p when, stamping
@@ -165,6 +189,7 @@ class Network
     Handler defaultHandler_;
     Handler observer_;
     MessageId nextId_ = 1;
+    std::string statPrefix_;
 };
 
 } // namespace macrosim

@@ -25,6 +25,27 @@ PointToPointNetwork::PointToPointNetwork(Simulator &sim,
         }
     }
     primeEnergyModel();
+    registerTelemetry();
+}
+
+void
+PointToPointNetwork::registerStats(StatRegistry &registry,
+                                   const std::string &prefix)
+{
+    Network::registerStats(registry, prefix);
+    // 4096 per-pair channels is too many columns for a snapshot CSV;
+    // report the fleet-mean occupancy (busy time over wall time,
+    // averaged across channels) instead.
+    registry.add(prefix + ".occupancy", [this] {
+        const Tick t = now();
+        if (t == 0 || channels_.empty())
+            return 0.0;
+        double busy = 0.0;
+        for (const OpticalChannel &ch : channels_)
+            busy += static_cast<double>(ch.busyTicks());
+        return busy / static_cast<double>(t)
+            / static_cast<double>(channels_.size());
+    });
 }
 
 OpticalChannel &
@@ -49,6 +70,7 @@ PointToPointNetwork::route(Message msg)
     // receiver. The channel's busy-until scheduling queues back-to-
     // back packets of this pair FIFO.
     OpticalChannel &ch = channelRef(msg.src, msg.dst);
+    msg.serialization = ch.serialization(msg.bytes);
     const Tick arrival = ch.transmit(now() + interfaceOverhead_,
                                      msg.bytes);
     chargeOpticalHop(msg);

@@ -30,9 +30,13 @@ class PointToPointNetwork : public Network
     PointToPointNetwork(Simulator &sim, const MacrochipConfig &config);
 
     std::string_view name() const override { return "Point-to-Point"; }
+    std::string_view statName() const override { return "pt2pt"; }
 
     ComponentCounts componentCounts() const override;
     std::vector<LaserPowerSpec> opticalPower() const override;
+
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) override;
 
     /** Wavelengths (data-path bits) per site-pair channel. */
     std::uint32_t wavelengthsPerChannel() const { return lambdas_; }

@@ -22,6 +22,32 @@ TokenRingCrossbar::TokenRingCrossbar(Simulator &sim,
         ringPos_[s] = c.row * geometry().cols() + col_in_row;
     }
     primeEnergyModel();
+    registerTelemetry();
+}
+
+void
+TokenRingCrossbar::registerStats(StatRegistry &registry,
+                                 const std::string &prefix)
+{
+    Network::registerStats(registry, prefix);
+    registry.add(prefix + ".grants", [this] {
+        return static_cast<double>(grants_);
+    });
+    // One bundle (== channel) per destination site: report each
+    // bundle's occupancy (token hold time over wall time) so hot
+    // destinations stand out in snapshots.
+    for (SiteId d = 0; d < config().siteCount(); ++d) {
+        const Arbiter *arb = &arbiters_[d];
+        registry.add(
+            prefix + ".ch" + std::to_string(d) + ".occupancy",
+            [this, arb] {
+                const Tick t = now();
+                return t == 0
+                    ? 0.0
+                    : static_cast<double>(arb->busyTicks)
+                        / static_cast<double>(t);
+            });
+    }
 }
 
 std::uint32_t
@@ -80,7 +106,8 @@ TokenRingCrossbar::armGrant(SiteId dst)
         }
     }
     arb.grantEvent = sim().events().schedule(
-        best, [this, dst, best_idx] { grant(dst, best_idx); });
+        best, [this, dst, best_idx] { grant(dst, best_idx); },
+        "net.tring.grant");
 }
 
 void
@@ -103,6 +130,9 @@ TokenRingCrossbar::grant(SiteId dst, std::size_t waiter_idx)
     const Tick hold_end = now() + hold;
     arb.tokenPos = src_pos;
     arb.tokenFree = hold_end;
+    arb.busyTicks += hold;
+    ++grants_;
+    w.msg.serialization = hold;
 
     // Data flows forward along the serpentine bundle to the
     // destination site.

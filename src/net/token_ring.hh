@@ -41,9 +41,16 @@ class TokenRingCrossbar : public Network
     TokenRingCrossbar(Simulator &sim, const MacrochipConfig &config);
 
     std::string_view name() const override { return "Token Ring"; }
+    std::string_view statName() const override { return "tring"; }
 
     ComponentCounts componentCounts() const override;
     std::vector<LaserPowerSpec> opticalPower() const override;
+
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) override;
+
+    /** Grants issued (token captures) across all destinations. */
+    std::uint64_t grantsIssued() const { return grants_; }
 
     /** Physical waveguides before area-equivalent accounting. */
     std::uint64_t physicalWaveguides() const;
@@ -71,6 +78,7 @@ class TokenRingCrossbar : public Network
     {
         std::uint32_t tokenPos = 0; ///< Ring index of last holder.
         Tick tokenFree = 0;         ///< When the token departed it.
+        Tick busyTicks = 0;         ///< Cumulative token hold time.
         std::deque<Waiter> waiting;
         EventId grantEvent = invalidEventId;
     };
@@ -92,6 +100,7 @@ class TokenRingCrossbar : public Network
 
     Tick hop_;              ///< Token/data propagation per ring hop.
     std::uint32_t bundleLambdas_;
+    std::uint64_t grants_ = 0;
     std::vector<std::uint32_t> ringPos_;  ///< site -> ring index
     std::vector<Arbiter> arbiters_;       ///< one per destination
 };

@@ -1,5 +1,10 @@
 #include "net/tracer.hh"
 
+#include <algorithm>
+#include <set>
+
+#include "sim/telemetry/trace.hh"
+
 namespace macrosim
 {
 
@@ -10,7 +15,7 @@ MessageTracer::MessageTracer(Network &net)
             return;
         records_.push_back(Record{m.id, m.src, m.dst, m.bytes, m.type,
                                   m.txn, m.created, m.injected,
-                                  m.delivered});
+                                  m.delivered, m.serialization});
     });
 }
 
@@ -29,12 +34,43 @@ void
 MessageTracer::writeCsv(std::ostream &os) const
 {
     os << "id,src,dst,bytes,type,txn,created_ps,injected_ps,"
-          "delivered_ps,latency_ns\n";
+          "delivered_ps,latency_ns,queue_ns,ser_ns\n";
     for (const Record &r : records_) {
         os << r.id << ',' << r.src << ',' << r.dst << ',' << r.bytes
            << ',' << to_string(r.type) << ',' << r.txn << ','
            << r.created << ',' << r.injected << ',' << r.delivered
-           << ',' << ticksToNs(r.latency()) << '\n';
+           << ',' << ticksToNs(r.latency()) << ','
+           << ticksToNs(r.queueing()) << ','
+           << ticksToNs(r.serialization) << '\n';
+    }
+}
+
+void
+MessageTracer::writeTrace(TraceSink &sink, std::uint32_t pid,
+                          const std::string &process_name) const
+{
+    sink.processName(pid, process_name);
+    std::set<SiteId> sites;
+    for (const Record &r : records_)
+        sites.insert(r.src);
+    for (const SiteId site : sites)
+        sink.threadName(pid, site, "site " + std::to_string(site));
+    for (const Record &r : records_) {
+        sink.span(std::string(to_string(r.type)), "net.msg", pid,
+                  r.src, r.created, r.latency(),
+                  {{"id", std::to_string(r.id)},
+                   {"dst", std::to_string(r.dst)},
+                   {"bytes", std::to_string(r.bytes)},
+                   {"txn", std::to_string(r.txn)},
+                   {"queue_ns", jsonNumber(ticksToNs(r.queueing()))},
+                   {"ser_ns",
+                    jsonNumber(ticksToNs(r.serialization))}});
+        // Coherence transactions span several messages; flow arrows
+        // let Perfetto draw the request -> forward -> data chain.
+        if (r.txn != 0) {
+            sink.flowStart("txn", pid, r.src, r.injected, r.txn);
+            sink.flowFinish("txn", pid, r.src, r.delivered, r.txn);
+        }
     }
 }
 

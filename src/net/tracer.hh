@@ -21,6 +21,8 @@
 namespace macrosim
 {
 
+class TraceSink;
+
 class MessageTracer
 {
   public:
@@ -35,8 +37,11 @@ class MessageTracer
         Tick created = 0;
         Tick injected = 0;
         Tick delivered = 0;
+        /** Serialization time on the first optical channel crossed. */
+        Tick serialization = 0;
 
         Tick latency() const { return delivered - created; }
+        Tick queueing() const { return injected - created; }
     };
 
     /**
@@ -63,6 +68,18 @@ class MessageTracer
 
     /** Write one CSV row per record, with a header line. */
     void writeCsv(std::ostream &os) const;
+
+    /**
+     * Emit the recorded messages into @p sink as Perfetto timeline
+     * events under process @p pid: one "X" lifecycle span per message
+     * on the source site's thread track (created -> delivered, with
+     * queue/serialization breakdown in args), plus "s"/"f" flow
+     * arrows stitching together the messages of each coherence
+     * transaction (flow id = txn). @p process_name labels the pid row
+     * in the UI.
+     */
+    void writeTrace(TraceSink &sink, std::uint32_t pid,
+                    const std::string &process_name) const;
 
   private:
     bool enabled_ = true;

@@ -31,6 +31,37 @@ TwoPhaseArbitratedNetwork::TwoPhaseArbitratedNetwork(
     notifications_.resize(static_cast<std::size_t>(config.rows)
                           * config.cols * instances);
     primeEnergyModel();
+    registerTelemetry();
+}
+
+void
+TwoPhaseArbitratedNetwork::registerStats(StatRegistry &registry,
+                                         const std::string &prefix)
+{
+    Network::registerStats(registry, prefix);
+    registry.add(prefix + ".wasted_slots", [this] {
+        return static_cast<double>(wastedSlots_);
+    });
+    registry.add(prefix + ".occupancy", [this] {
+        const Tick t = now();
+        if (t == 0 || channels_.empty())
+            return 0.0;
+        double busy = 0.0;
+        for (const DataChannel &ch : channels_)
+            busy += static_cast<double>(ch.line.busyTicks());
+        return busy / static_cast<double>(t)
+            / static_cast<double>(channels_.size());
+    });
+    registry.add(prefix + ".notif_occupancy", [this] {
+        const Tick t = now();
+        if (t == 0 || notifications_.empty())
+            return 0.0;
+        double busy = 0.0;
+        for (const BusyResource &n : notifications_)
+            busy += static_cast<double>(n.busyTicks());
+        return busy / static_cast<double>(t)
+            / static_cast<double>(notifications_.size());
+    });
 }
 
 void
@@ -97,7 +128,8 @@ TwoPhaseArbitratedNetwork::arbitrate(Message msg, Tick post_time)
                              ser]() mutable {
                                 transmitSlot(std::move(msg), slot_start,
                                              ser);
-                            });
+                            },
+                            "net.2phase.slot");
 }
 
 BusyResource *
@@ -133,6 +165,7 @@ TwoPhaseArbitratedNetwork::transmitSlot(Message msg, Tick slot_start,
     }
     tree->reserve(slot_start, ser);
     chargeOpticalHop(msg);
+    msg.serialization = ser;
     const Tick arrival = slot_start + ser
         + geometry().propagationDelay(msg.src, msg.dst);
     deliverAt(std::move(msg), arrival + cycle());

@@ -80,8 +80,17 @@ class TwoPhaseArbitratedNetwork : public Network
 
     bool isAlt() const { return alt_; }
 
+    std::string_view
+    statName() const override
+    {
+        return alt_ ? "2phase_alt" : "2phase";
+    }
+
     ComponentCounts componentCounts() const override;
     std::vector<LaserPowerSpec> opticalPower() const override;
+
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) override;
 
     /** Component counts of the separate arbitration network. */
     ComponentCounts arbitrationCounts() const;

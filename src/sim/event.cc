@@ -1,11 +1,13 @@
 #include "sim/event.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <limits>
 #include <utility>
 
 #include "sim/logging.hh"
-#include "sim/stats.hh"
+#include "sim/telemetry/registry.hh"
 
 namespace macrosim
 {
@@ -37,7 +39,7 @@ makeId(std::uint32_t gen, std::uint32_t slot)
 } // namespace
 
 std::uint32_t
-EventQueue::allocSlot(Callback cb)
+EventQueue::allocSlot(Callback cb, const char *tag)
 {
     std::uint32_t slot;
     if (!freeSlots_.empty()) {
@@ -53,6 +55,7 @@ EventQueue::allocSlot(Callback cb)
         slots_.emplace_back();
     }
     slots_[slot].cb = std::move(cb);
+    slots_[slot].tag = tag;
     return slot;
 }
 
@@ -67,7 +70,7 @@ EventQueue::freeSlot(std::uint32_t slot)
 }
 
 EventId
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::schedule(Tick when, Callback cb, const char *tag)
 {
     if (when < now_) {
         panic("EventQueue::schedule: tried to schedule at tick ", when,
@@ -75,7 +78,7 @@ EventQueue::schedule(Tick when, Callback cb)
     }
     if (!cb)
         panic("EventQueue::schedule: empty callback");
-    const std::uint32_t slot = allocSlot(std::move(cb));
+    const std::uint32_t slot = allocSlot(std::move(cb), tag);
     heap_.push_back(HeapRecord{when, nextSeq_++, slot});
     siftUp(heap_.size() - 1);
     ++pending_;
@@ -168,6 +171,7 @@ EventQueue::executeRoot()
 {
     const HeapRecord root = heap_[0];
     Callback cb = std::move(slots_[root.slot].cb);
+    const char *tag = slots_[root.slot].tag;
     now_ = root.when;
     freeSlot(root.slot);
     popRoot();
@@ -182,7 +186,21 @@ EventQueue::executeRoot()
         stats_.maxSameTickBurst = burst_;
     // All bookkeeping is consistent before the callback runs, so it
     // may freely schedule() and cancel() (and grow the arena).
+    if (!profiling_) {
+        cb();
+        return;
+    }
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point t0 = Clock::now();
     cb();
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0)
+            .count();
+    ProfileBucket &bucket =
+        profile_[tag ? std::string_view(tag)
+                     : std::string_view("(untagged)")];
+    ++bucket.count;
+    bucket.wallNs += ns;
 }
 
 void
@@ -243,33 +261,67 @@ EventQueue::runUntil(Tick limit)
 }
 
 void
-EventQueue::regStats(StatGroup &group, const std::string &prefix) const
+EventQueue::regStats(StatRegistry &registry,
+                     const std::string &prefix) const
 {
     const EventQueueStats *s = &stats_;
-    group.add(prefix + ".scheduled", s, [](const void *p) {
-        return static_cast<double>(
-            static_cast<const EventQueueStats *>(p)->scheduled);
+    registry.add(prefix + ".scheduled", [s] {
+        return static_cast<double>(s->scheduled);
     });
-    group.add(prefix + ".cancelled", s, [](const void *p) {
-        return static_cast<double>(
-            static_cast<const EventQueueStats *>(p)->cancelled);
+    registry.add(prefix + ".cancelled", [s] {
+        return static_cast<double>(s->cancelled);
     });
-    group.add(prefix + ".executed", s, [](const void *p) {
-        return static_cast<double>(
-            static_cast<const EventQueueStats *>(p)->executed);
+    registry.add(prefix + ".executed", [s] {
+        return static_cast<double>(s->executed);
     });
-    group.add(prefix + ".peak_pending", s, [](const void *p) {
-        return static_cast<double>(
-            static_cast<const EventQueueStats *>(p)->peakPending);
+    registry.add(prefix + ".peak_pending", [s] {
+        return static_cast<double>(s->peakPending);
     });
-    group.add(prefix + ".compactions", s, [](const void *p) {
-        return static_cast<double>(
-            static_cast<const EventQueueStats *>(p)->compactions);
+    registry.add(prefix + ".compactions", [s] {
+        return static_cast<double>(s->compactions);
     });
-    group.add(prefix + ".max_same_tick_burst", s, [](const void *p) {
-        return static_cast<double>(
-            static_cast<const EventQueueStats *>(p)->maxSameTickBurst);
+    registry.add(prefix + ".max_same_tick_burst", [s] {
+        return static_cast<double>(s->maxSameTickBurst);
     });
+}
+
+std::vector<EventProfileEntry>
+EventQueue::profile() const
+{
+    std::vector<EventProfileEntry> rows;
+    rows.reserve(profile_.size());
+    for (const auto &[tag, bucket] : profile_)
+        rows.push_back({tag, bucket.count, bucket.wallNs});
+    std::sort(rows.begin(), rows.end(),
+              [](const EventProfileEntry &a,
+                 const EventProfileEntry &b) {
+                  if (a.wallNs != b.wallNs)
+                      return a.wallNs > b.wallNs;
+                  return a.tag < b.tag;
+              });
+    return rows;
+}
+
+void
+EventQueue::dumpProfile(std::ostream &os) const
+{
+    const std::vector<EventProfileEntry> rows = profile();
+    double total_ns = 0.0;
+    for (const EventProfileEntry &r : rows)
+        total_ns += r.wallNs;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-28s %12s %12s %10s %6s\n",
+                  "event tag", "count", "total ms", "avg ns", "%");
+    os << line;
+    for (const EventProfileEntry &r : rows) {
+        std::snprintf(
+            line, sizeof(line), "%-28.*s %12llu %12.3f %10.1f %6.2f\n",
+            static_cast<int>(r.tag.size()), r.tag.data(),
+            static_cast<unsigned long long>(r.count), r.wallNs * 1e-6,
+            r.count ? r.wallNs / static_cast<double>(r.count) : 0.0,
+            total_ns > 0.0 ? r.wallNs / total_ns * 100.0 : 0.0);
+        os << line;
+    }
 }
 
 } // namespace macrosim

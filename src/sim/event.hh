@@ -21,7 +21,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <ostream>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/ticks.hh"
@@ -29,7 +32,7 @@
 namespace macrosim
 {
 
-class StatGroup;
+class StatRegistry;
 
 /**
  * Opaque identifier for a scheduled event; used for cancellation.
@@ -64,6 +67,20 @@ struct EventQueueStats
 };
 
 /**
+ * One row of the event-loop self-profile: every event scheduled with
+ * the same tag aggregates its invocation count and the wall-clock
+ * time its callbacks consumed. Untagged events aggregate under
+ * "(untagged)".
+ */
+struct EventProfileEntry
+{
+    std::string_view tag;
+    std::uint64_t count = 0;
+    /** Wall-clock (not simulated) time spent in the callbacks, ns. */
+    double wallNs = 0.0;
+};
+
+/**
  * A time-ordered queue of callbacks.
  *
  * Not a singleton: each Simulator owns one, so multiple simulations can
@@ -85,17 +102,22 @@ class EventQueue
     /**
      * Schedule @p cb to run at absolute time @p when.
      *
+     * @p tag names the event's type for the event-loop profiler; it
+     * must point at storage outliving the queue (string literals).
+     * Tagging costs nothing when profiling is off.
+     *
      * @pre when >= now(): the past is immutable.
      * @pre cb is callable.
      * @return A handle usable with cancel().
      */
-    EventId schedule(Tick when, Callback cb);
+    EventId schedule(Tick when, Callback cb,
+                     const char *tag = nullptr);
 
     /** Schedule @p cb to run @p delay ticks from now. */
     EventId
-    scheduleAfter(Tick delay, Callback cb)
+    scheduleAfter(Tick delay, Callback cb, const char *tag = nullptr)
     {
-        return schedule(now_ + delay, std::move(cb));
+        return schedule(now_ + delay, std::move(cb), tag);
     }
 
     /**
@@ -141,11 +163,31 @@ class EventQueue
     const EventQueueStats &stats() const { return stats_; }
 
     /**
-     * Register the stats with @p group as "<prefix>.scheduled" etc.
-     * The queue must outlive any dump through @p group.
+     * Register the stats with @p registry as "<prefix>.scheduled"
+     * etc. The queue must outlive any dump through @p registry.
      */
-    void regStats(StatGroup &group,
+    void regStats(StatRegistry &registry,
                   const std::string &prefix = "simcore") const;
+
+    /**
+     * Enable/disable the event-loop self-profiler. When enabled,
+     * every executed event's wall-clock time and invocation count is
+     * attributed to its schedule() tag. Costs two clock reads per
+     * event while on; entirely branch-predictable while off.
+     * Profiling never perturbs simulated time or event order.
+     */
+    void setProfiling(bool on) { profiling_ = on; }
+    bool profiling() const { return profiling_; }
+
+    /**
+     * The accumulated self-profile, sorted by descending wall time
+     * (ties by tag). Counts are exact; times are wall-clock and thus
+     * machine-dependent.
+     */
+    std::vector<EventProfileEntry> profile() const;
+
+    /** Dump the self-profile as an aligned table. */
+    void dumpProfile(std::ostream &os) const;
 
   private:
     /** Children per heap node; 4 keeps the tree shallow and the
@@ -166,8 +208,19 @@ class EventQueue
     struct Slot
     {
         Callback cb;
+        /** Profiler tag; nullptr = untagged. Kept even when
+         *  profiling is off so the profiler can be flipped on
+         *  mid-simulation. */
+        const char *tag = nullptr;
         std::uint32_t gen = 0;
         bool tombstone = false;
+    };
+
+    /** Per-tag profile accumulator (see EventProfileEntry). */
+    struct ProfileBucket
+    {
+        std::uint64_t count = 0;
+        double wallNs = 0.0;
     };
 
     /** Heap record: 24 bytes, trivially copyable, no callback. */
@@ -186,7 +239,7 @@ class EventQueue
         return a.seq < b.seq;
     }
 
-    std::uint32_t allocSlot(Callback cb);
+    std::uint32_t allocSlot(Callback cb, const char *tag);
     void freeSlot(std::uint32_t slot);
 
     void siftUp(std::size_t i);
@@ -216,6 +269,11 @@ class EventQueue
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> freeSlots_;
     EventQueueStats stats_;
+
+    /** Event-loop self-profiler (keyed by tag *content* so the same
+     *  literal in two translation units shares a bucket). */
+    bool profiling_ = false;
+    std::unordered_map<std::string_view, ProfileBucket> profile_;
 };
 
 } // namespace macrosim

@@ -9,6 +9,7 @@ namespace macrosim
 namespace
 {
 bool quietFlag = false;
+std::uint64_t warnCount = 0;
 } // namespace
 
 void
@@ -21,6 +22,12 @@ bool
 quiet()
 {
     return quietFlag;
+}
+
+std::uint64_t
+warningsIssued()
+{
+    return warnCount;
 }
 
 namespace detail
@@ -42,6 +49,7 @@ fatalImpl(const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    ++warnCount;
     if (!quietFlag)
         std::cerr << "warn: " << msg << std::endl;
 }

@@ -7,12 +7,15 @@
  * fatal()  -- the user asked for something unsatisfiable; throws
  *             FatalError so library users (and tests) can recover.
  * warn()   -- something is suspicious but simulation continues.
+ * warn_once() -- as warn(), but latched per call site so a condition
+ *             checked in a per-cell loop cannot spam a 600-cell sweep.
  * inform() -- plain status output.
  */
 
 #ifndef MACROSIM_SIM_LOGGING_HH
 #define MACROSIM_SIM_LOGGING_HH
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -86,6 +89,28 @@ inform(Args &&...args)
 void setQuiet(bool quiet);
 bool quiet();
 
+/**
+ * Total warnings issued since process start. Counts even under
+ * quiet(), so tests can assert on warning behaviour (e.g. the
+ * warn_once latch) without scraping stderr.
+ */
+std::uint64_t warningsIssued();
+
 } // namespace macrosim
+
+/**
+ * Emit a warning at most once per call site (gem5's warn_once). The
+ * latch is a function-local static, so the condition may sit inside
+ * a hot loop or a per-simulation constructor without flooding
+ * stderr across a parameter sweep.
+ */
+#define warn_once(...)                                                 \
+    do {                                                               \
+        static bool macrosim_warned_once_ = false;                     \
+        if (!macrosim_warned_once_) {                                  \
+            macrosim_warned_once_ = true;                              \
+            ::macrosim::warn(__VA_ARGS__);                             \
+        }                                                              \
+    } while (0)
 
 #endif // MACROSIM_SIM_LOGGING_HH

@@ -15,6 +15,7 @@
 
 #include "sim/event.hh"
 #include "sim/random.hh"
+#include "sim/telemetry/registry.hh"
 #include "sim/ticks.hh"
 
 namespace macrosim
@@ -25,7 +26,9 @@ class Simulator
   public:
     explicit Simulator(std::uint64_t seed = 1)
         : rng_(seed)
-    {}
+    {
+        events_.regStats(telemetry_, "simcore");
+    }
 
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
@@ -33,6 +36,26 @@ class Simulator
     EventQueue &events() { return events_; }
     const EventQueue &events() const { return events_; }
     Rng &rng() { return rng_; }
+
+    /**
+     * The simulation-wide stat registry. Every model object registers
+     * its stats here at construction under a dotted hierarchical name
+     * ("simcore.*", "net.<topo>.*", "arch.site<N>.l2.*"), so a
+     * harness can dump, snapshot or query one tree per simulation.
+     */
+    StatRegistry &telemetry() { return telemetry_; }
+    const StatRegistry &telemetry() const { return telemetry_; }
+
+    /**
+     * Pending events that exist only to observe the simulation
+     * (e.g. PeriodicSampler re-arms). Observers consult this count
+     * to decide whether *model* work remains: two observers each
+     * re-arming because they see the other's pending event would
+     * keep the queue alive forever.
+     */
+    std::uint64_t observerEvents() const { return observerEvents_; }
+    void noteObserverScheduled() { ++observerEvents_; }
+    void noteObserverDone() { --observerEvents_; }
 
     Tick now() const { return events_.now(); }
 
@@ -49,6 +72,8 @@ class Simulator
   private:
     EventQueue events_;
     Rng rng_;
+    StatRegistry telemetry_;
+    std::uint64_t observerEvents_ = 0;
 };
 
 } // namespace macrosim

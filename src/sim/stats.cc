@@ -1,5 +1,6 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/logging.hh"
@@ -84,41 +85,6 @@ Histogram::reset()
     std::fill(bins_.begin(), bins_.end(), 0);
     underflow_ = overflow_ = nonfinite_ = total_ = 0;
     acc_.reset();
-}
-
-void
-StatGroup::addCounter(std::string name, const Counter &c)
-{
-    add(std::move(name), &c, [](const void *p) {
-        return static_cast<double>(static_cast<const Counter *>(p)
-                                       ->value());
-    });
-}
-
-void
-StatGroup::addMean(std::string name, const Accumulator &a)
-{
-    add(std::move(name), &a, [](const void *p) {
-        return static_cast<const Accumulator *>(p)->mean();
-    });
-}
-
-void
-StatGroup::dump(std::ostream &os) const
-{
-    for (const auto &e : entries_)
-        os << e.name << " " << e.getter(e.obj) << "\n";
-}
-
-void
-StatGroup::dumpCsv(std::ostream &os) const
-{
-    for (std::size_t i = 0; i < entries_.size(); ++i)
-        os << entries_[i].name << (i + 1 < entries_.size() ? "," : "\n");
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        os << entries_[i].getter(entries_[i].obj)
-           << (i + 1 < entries_.size() ? "," : "\n");
-    }
 }
 
 } // namespace macrosim

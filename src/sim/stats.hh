@@ -1,20 +1,17 @@
 /**
  * @file
- * Statistics package: counters, accumulators, histograms, and a named
- * registry that can dump everything to a stream or CSV.
+ * Statistics primitives: counters, accumulators and histograms.
  *
  * Modelled loosely on gem5's stats: each SimObject owns stats and
- * registers them in a StatGroup so harnesses can report uniformly.
+ * registers them in the hierarchical StatRegistry
+ * (sim/telemetry/registry.hh) so harnesses can report uniformly.
  */
 
 #ifndef MACROSIM_SIM_STATS_HH
 #define MACROSIM_SIM_STATS_HH
 
-#include <algorithm>
 #include <cstdint>
 #include <limits>
-#include <ostream>
-#include <string>
 #include <vector>
 
 namespace macrosim
@@ -107,42 +104,6 @@ class Histogram
     std::uint64_t nonfinite_ = 0;
     std::uint64_t total_ = 0;
     Accumulator acc_;
-};
-
-/**
- * A named collection of stats for reporting. Objects register
- * name/value pairs lazily through a snapshot visitor so the group
- * never dangles: values are pulled at dump time from callables.
- */
-class StatGroup
-{
-  public:
-    using Getter = double (*)(const void *);
-
-    /** Register a stat by name with a pull-callback. */
-    void
-    add(std::string name, const void *obj, Getter getter)
-    {
-        entries_.push_back({std::move(name), obj, getter});
-    }
-
-    void addCounter(std::string name, const Counter &c);
-    void addMean(std::string name, const Accumulator &a);
-
-    /** Write "name value" lines. */
-    void dump(std::ostream &os) const;
-
-    /** Write a single CSV row of values, preceded by a header row. */
-    void dumpCsv(std::ostream &os) const;
-
-  private:
-    struct Entry
-    {
-        std::string name;
-        const void *obj;
-        Getter getter;
-    };
-    std::vector<Entry> entries_;
 };
 
 } // namespace macrosim

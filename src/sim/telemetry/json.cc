@@ -1,0 +1,265 @@
+#include "sim/telemetry/json.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace macrosim
+{
+
+namespace
+{
+
+/** Recursive-descent cursor over the input text. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    bool
+    run(std::string *error)
+    {
+        skipWs();
+        if (!value()) {
+            report(error);
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            err_ = "trailing garbage";
+            errPos_ = pos_;
+            report(error);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (depth_ > maxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        ++depth_;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (peek() != '"')
+                return fail("expected object key string");
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return fail("expected ':' after key");
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        ++depth_;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    string()
+    {
+        ++pos_; // opening '"'
+        while (pos_ < text_.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return fail("dangling escape");
+                const char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_]))) {
+                            return fail("bad \\u escape");
+                        }
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape character");
+                }
+                ++pos_;
+            } else if (c < 0x20) {
+                return fail("raw control character in string");
+            } else {
+                ++pos_;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        const std::size_t intStart = pos_;
+        if (!digits())
+            return fail("expected digit");
+        // JSON forbids leading zeros: "0" is fine, "01" is not.
+        if (text_[intStart] == '0' && pos_ - intStart > 1)
+            return fail("leading zero in number");
+        if (peek() == '.') {
+            ++pos_;
+            if (!digits())
+                return fail("expected fraction digits");
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!digits())
+                return fail("expected exponent digits");
+        }
+        return pos_ > start;
+    }
+
+    bool
+    digits()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    bool
+    fail(const char *what)
+    {
+        if (!err_) {
+            err_ = what;
+            errPos_ = pos_;
+        }
+        return false;
+    }
+
+    void
+    report(std::string *error) const
+    {
+        if (!error)
+            return;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%s at byte %zu",
+                      err_ ? err_ : "invalid JSON", errPos_);
+        *error = buf;
+    }
+
+    static constexpr int maxDepth = 256;
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    const char *err_ = nullptr;
+    std::size_t errPos_ = 0;
+};
+
+} // namespace
+
+bool
+jsonValid(std::string_view text, std::string *error)
+{
+    return Parser(text).run(error);
+}
+
+} // namespace macrosim

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Minimal JSON *syntax* validator.
+ *
+ * Used by benches to self-check the trace files they emit (the ctest
+ * smoke run asserts the written Perfetto JSON parses) and by the
+ * telemetry unit tests. It validates grammar only — no DOM is built,
+ * no semantic checks — so it stays dependency-free and O(n).
+ */
+
+#ifndef MACROSIM_SIM_TELEMETRY_JSON_HH
+#define MACROSIM_SIM_TELEMETRY_JSON_HH
+
+#include <string>
+#include <string_view>
+
+namespace macrosim
+{
+
+/**
+ * @return true iff @p text is one syntactically complete JSON value
+ * (object, array, string, number, true/false/null) with nothing but
+ * whitespace after it. On failure, if @p error is non-null it
+ * receives a short description with the byte offset.
+ */
+bool jsonValid(std::string_view text, std::string *error = nullptr);
+
+} // namespace macrosim
+
+#endif // MACROSIM_SIM_TELEMETRY_JSON_HH

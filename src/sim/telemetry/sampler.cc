@@ -1,0 +1,61 @@
+#include "sim/telemetry/sampler.hh"
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+PeriodicSampler::PeriodicSampler(Simulator &sim, Tick period,
+                                 SampleFn fn)
+    : sim_(sim), period_(period), fn_(std::move(fn))
+{
+    if (period_ == 0)
+        fatal("PeriodicSampler: period must be positive");
+    if (!fn_)
+        fatal("PeriodicSampler: empty sample callback");
+    arm();
+}
+
+PeriodicSampler::~PeriodicSampler()
+{
+    if (pending_ != invalidEventId && sim_.events().cancel(pending_))
+        sim_.noteObserverDone();
+}
+
+void
+PeriodicSampler::arm()
+{
+    pending_ = sim_.events().scheduleAfter(
+        period_, [this] { fire(); }, "telemetry.sample");
+    sim_.noteObserverScheduled();
+}
+
+void
+PeriodicSampler::fire()
+{
+    pending_ = invalidEventId;
+    sim_.noteObserverDone();
+    ++samples_;
+    fn_(sim_.now());
+    // Re-arm only while the simulation still has *model* work: events
+    // pending beyond other observers' re-arms. This keeps a
+    // drain-to-empty run terminating (at the cost of one trailing
+    // sample after the final model event) even with several samplers
+    // alive — counting each other's events would sustain the queue
+    // forever.
+    if (sim_.events().size() > sim_.observerEvents())
+        arm();
+}
+
+SnapshotRecorder::SnapshotRecorder(Simulator &sim, Tick period)
+    : sim_(sim), sampler_(sim, period, [this](Tick now) {
+          if (!wroteHeader_) {
+              sim_.telemetry().writeSnapshotHeader(buf_);
+              wroteHeader_ = true;
+          }
+          sim_.telemetry().writeSnapshotRow(buf_, now);
+      })
+{
+}
+
+} // namespace macrosim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Periodic mid-simulation sampling.
+ *
+ * PeriodicSampler fires a callback every N ticks of simulated time.
+ * It deliberately keeps only one event in flight and re-arms *after*
+ * its callback, only while events beyond other observers' re-arms
+ * remain pending (see Simulator::observerEvents()) — so a simulation
+ * that runs "until the queue drains" still terminates (at most one
+ * trailing sample fires after the last model event), even when
+ * several samplers watch the same simulation.
+ *
+ * SnapshotRecorder builds on it: every period it appends one
+ * time-series CSV row (tick + every StatRegistry value) to an
+ * in-memory buffer. The buffer, not a file, is the output so
+ * parallel sweeps can collect per-cell snapshots and concatenate
+ * them in deterministic submission order — making the CSV
+ * bit-identical for any --jobs count.
+ */
+
+#ifndef MACROSIM_SIM_TELEMETRY_SAMPLER_HH
+#define MACROSIM_SIM_TELEMETRY_SAMPLER_HH
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace macrosim
+{
+
+class PeriodicSampler
+{
+  public:
+    /** Called with the sample's tick. */
+    using SampleFn = std::function<void(Tick)>;
+
+    /**
+     * Sample every @p period ticks, starting @p period after now.
+     * @p fn must outlive the simulation (it is captured by events).
+     */
+    PeriodicSampler(Simulator &sim, Tick period, SampleFn fn);
+
+    PeriodicSampler(const PeriodicSampler &) = delete;
+    PeriodicSampler &operator=(const PeriodicSampler &) = delete;
+
+    /** Stop sampling (cancels the pending event, if any). */
+    ~PeriodicSampler();
+
+    std::uint64_t samplesTaken() const { return samples_; }
+
+  private:
+    void arm();
+    void fire();
+
+    Simulator &sim_;
+    Tick period_;
+    SampleFn fn_;
+    std::uint64_t samples_ = 0;
+    EventId pending_ = invalidEventId;
+};
+
+/**
+ * Periodic snapshots of a simulation's StatRegistry as a time-series
+ * CSV: a header row ("tick,<names…>", written lazily at the first
+ * sample so late registrations are included), then one row per
+ * period. Collect csv() after the run.
+ */
+class SnapshotRecorder
+{
+  public:
+    /** Snapshot @p sim.telemetry() every @p period ticks. */
+    SnapshotRecorder(Simulator &sim, Tick period);
+
+    /** Header + all rows recorded so far. */
+    std::string csv() const { return buf_.str(); }
+
+    std::uint64_t rows() const { return sampler_.samplesTaken(); }
+
+  private:
+    Simulator &sim_;
+    std::ostringstream buf_;
+    bool wroteHeader_ = false;
+    PeriodicSampler sampler_;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_SIM_TELEMETRY_SAMPLER_HH

@@ -1,0 +1,244 @@
+#include "sim/telemetry/trace.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace macrosim
+{
+
+namespace
+{
+
+/**
+ * Ticks (ps) to microseconds as exact decimal fixed-point: integer
+ * quotient, '.', six-digit remainder. No floating point, so traces
+ * are bit-reproducible across platforms.
+ */
+std::string
+ticksToUs(Tick ps)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06" PRIu64,
+                  ps / 1'000'000, ps % 1'000'000);
+    return buf;
+}
+
+} // namespace
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    // %.17g round-trips any double; trim to %g when exact so common
+    // integral values stay short ("3" not "3.0000000000000000").
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back != v)
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+TraceSink::TraceSink(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+}
+
+void
+TraceSink::push(TraceEvent ev)
+{
+    if (events_.size() >= capacity_) {
+        events_.pop_front();
+        ++dropped_;
+    }
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceSink::span(std::string name, std::string cat, std::uint32_t pid,
+                std::uint32_t tid, Tick start, Tick dur,
+                std::vector<std::pair<std::string, std::string>> args)
+{
+    TraceEvent ev;
+    ev.ph = TraceEvent::Phase::Complete;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.ts = start;
+    ev.dur = dur;
+    ev.args = std::move(args);
+    push(std::move(ev));
+}
+
+void
+TraceSink::counter(std::string name, std::uint32_t pid, Tick ts,
+                   double value)
+{
+    TraceEvent ev;
+    ev.ph = TraceEvent::Phase::Counter;
+    ev.name = std::move(name);
+    ev.pid = pid;
+    ev.ts = ts;
+    ev.args.emplace_back("value", jsonNumber(value));
+    push(std::move(ev));
+}
+
+void
+TraceSink::flowStart(std::string name, std::uint32_t pid,
+                     std::uint32_t tid, Tick ts, std::uint64_t flow_id)
+{
+    TraceEvent ev;
+    ev.ph = TraceEvent::Phase::FlowStart;
+    ev.name = std::move(name);
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.ts = ts;
+    ev.flowId = flow_id;
+    push(std::move(ev));
+}
+
+void
+TraceSink::flowFinish(std::string name, std::uint32_t pid,
+                      std::uint32_t tid, Tick ts,
+                      std::uint64_t flow_id)
+{
+    TraceEvent ev;
+    ev.ph = TraceEvent::Phase::FlowFinish;
+    ev.name = std::move(name);
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.ts = ts;
+    ev.flowId = flow_id;
+    push(std::move(ev));
+}
+
+void
+TraceSink::instant(std::string name, std::string cat,
+                   std::uint32_t pid, std::uint32_t tid, Tick ts)
+{
+    TraceEvent ev;
+    ev.ph = TraceEvent::Phase::Instant;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.ts = ts;
+    push(std::move(ev));
+}
+
+void
+TraceSink::processName(std::uint32_t pid, const std::string &name)
+{
+    TraceEvent ev;
+    ev.ph = TraceEvent::Phase::Metadata;
+    ev.name = "process_name";
+    ev.pid = pid;
+    ev.args.emplace_back("name", '"' + jsonEscape(name) + '"');
+    push(std::move(ev));
+}
+
+void
+TraceSink::threadName(std::uint32_t pid, std::uint32_t tid,
+                      const std::string &name)
+{
+    TraceEvent ev;
+    ev.ph = TraceEvent::Phase::Metadata;
+    ev.name = "thread_name";
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.args.emplace_back("name", '"' + jsonEscape(name) + '"');
+    push(std::move(ev));
+}
+
+void
+TraceSink::append(TraceSink &&other)
+{
+    for (TraceEvent &ev : other.events_)
+        push(std::move(ev));
+    dropped_ += other.dropped_;
+    other.events_.clear();
+    other.dropped_ = 0;
+}
+
+void
+TraceSink::writeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &ev : events_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"ph\":\"" << static_cast<char>(ev.ph) << "\",\"name\":\""
+           << jsonEscape(ev.name) << "\",\"cat\":\""
+           << jsonEscape(ev.cat) << "\",\"pid\":" << ev.pid
+           << ",\"tid\":" << ev.tid;
+        // Metadata rows carry no timestamp; everything else does.
+        if (ev.ph != TraceEvent::Phase::Metadata)
+            os << ",\"ts\":" << ticksToUs(ev.ts);
+        if (ev.ph == TraceEvent::Phase::Complete)
+            os << ",\"dur\":" << ticksToUs(ev.dur);
+        if (ev.ph == TraceEvent::Phase::FlowStart ||
+            ev.ph == TraceEvent::Phase::FlowFinish) {
+            os << ",\"id\":" << ev.flowId;
+            // "f" needs bp:"e" so Perfetto binds the arrow to the
+            // enclosing span rather than the next one.
+            if (ev.ph == TraceEvent::Phase::FlowFinish)
+                os << ",\"bp\":\"e\"";
+        }
+        if (!ev.args.empty()) {
+            os << ",\"args\":{";
+            bool firstArg = true;
+            for (const auto &[key, value] : ev.args) {
+                if (!firstArg)
+                    os << ",";
+                firstArg = false;
+                os << '"' << jsonEscape(key) << "\":" << value;
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    if (dropped_ > 0) {
+        if (!first)
+            os << ",\n";
+        os << "{\"ph\":\"M\",\"name\":\"trace_dropped_events\","
+              "\"cat\":\"sim\",\"pid\":0,\"tid\":0,\"args\":{"
+              "\"count\":"
+           << dropped_ << "}}";
+    }
+    os << "]}\n";
+}
+
+} // namespace macrosim

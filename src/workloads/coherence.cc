@@ -36,6 +36,50 @@ CoherenceEngine::CoherenceEngine(Simulator &sim, Network &net,
             dirs_.push_back(std::make_unique<Directory>(sites));
         }
     }
+    registerTelemetry();
+}
+
+void
+CoherenceEngine::registerTelemetry()
+{
+    StatScope arch(sim_.telemetry(),
+                   sim_.telemetry().uniquePrefix("arch"));
+    arch.add("txn.started", [this] {
+        return static_cast<double>(started_);
+    });
+    arch.add("txn.completed", [this] {
+        return static_cast<double>(completed_);
+    });
+    arch.add("txn.in_flight", [this] {
+        return static_cast<double>(inFlight());
+    });
+    arch.add("txn.messages", [this] {
+        return static_cast<double>(messagesSent_);
+    });
+    arch.add("txn.writebacks", [this] {
+        return static_cast<double>(writebacks_);
+    });
+    arch.add("txn.coalesced", [this] {
+        return static_cast<double>(coalesced_);
+    });
+    arch.addMean("txn.latency_ns", opLatency_);
+    if (!directoryMode_)
+        return;
+    for (SiteId s = 0; s < net_.config().siteCount(); ++s) {
+        const StatScope site =
+            arch.scope("site" + std::to_string(s));
+        const SetAssocCache *l2 = l2s_[s].get();
+        site.add("l2.hits", [l2] {
+            return static_cast<double>(l2->hits());
+        });
+        site.add("l2.misses", [l2] {
+            return static_cast<double>(l2->misses());
+        });
+        const Directory *dir = dirs_[s].get();
+        site.add("dir.tracked_lines", [dir] {
+            return static_cast<double>(dir->trackedLines());
+        });
+    }
 }
 
 void
@@ -185,7 +229,7 @@ CoherenceEngine::replyFromMemory(SiteId home, SiteId requester,
     sim_.events().schedule(data_ready, [this, home, requester, txn] {
         send(home, requester, CoherenceMsg::Data, dataMessageBytes,
              txn);
-    });
+    }, "arch.memory");
 }
 
 void
@@ -245,7 +289,7 @@ CoherenceEngine::scheduleExpansion(TxnId id)
             expandDirectory(txn);
         else
             expandSynthetic(txn);
-    });
+    }, "arch.dir_lookup");
 }
 
 void

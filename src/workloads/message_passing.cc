@@ -98,7 +98,7 @@ MessagePassingSystem::startIteration()
     sim_.events().scheduleAfter(spec_.computeTime, [this] {
         for (SiteId s = 0; s < net_.config().siteCount(); ++s)
             startCommPhase(s);
-    });
+    }, "workload.compute");
 }
 
 void

@@ -54,7 +54,7 @@ struct InjectorState
             m.cookie = (sim.now() >= cfg.warmup) ? 1 : 0;
             net.inject(m);
             scheduleNext(src);
-        });
+        }, "workload.inject");
     }
 };
 

@@ -79,7 +79,8 @@ TraceCpuSystem::step(std::size_t idx)
                 miss(idx);
             else
                 step(idx);
-        });
+        },
+        "workload.cpu_burst");
 }
 
 void

@@ -10,6 +10,7 @@
 
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "sim/telemetry/registry.hh"
 
 namespace
 {
