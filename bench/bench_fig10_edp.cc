@@ -24,11 +24,12 @@ main(int argc, char **argv)
     setQuiet(true);
     const std::size_t jobs = jobsArg(argc, argv);
     simStatsArg(argc, argv);
+    const std::uint64_t seed = seedArg(argc, argv, 1);
     const TelemetryOptions topt = telemetryArgs(argc, argv);
     const std::uint64_t instr =
         instructionsArg(argc, argv, topt.smoke ? 200 : 1200);
     const auto matrix =
-        runWorkloadMatrixWithTelemetry(instr, 1, jobs, topt);
+        runWorkloadMatrixWithTelemetry(instr, seed, jobs, topt);
 
     std::printf("Figure 10: Energy-Delay Product, Normalized to "
                 "Point-to-Point\n\n");

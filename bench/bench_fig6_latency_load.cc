@@ -83,13 +83,14 @@ constexpr std::uint32_t pidsPerCurve = 16;
  */
 Curve
 traceCurve(const PatternSweep &sweep, NetId id,
-           std::uint32_t pid_base, const TelemetryOptions &topt)
+           std::uint32_t pid_base, const TelemetryOptions &topt,
+           std::uint64_t seed)
 {
     Curve curve;
     curve.id = id;
     std::uint32_t point = 0;
     for (const double load : sweep.loads) {
-        Simulator sim(17);
+        Simulator sim(seed);
         auto net = makeNetwork(id, sim, simulatedConfig());
 
         std::ostringstream label_os;
@@ -119,7 +120,7 @@ traceCurve(const PatternSweep &sweep, NetId id,
         cfg.load = load;
         cfg.warmup = 500 * tickNs;
         cfg.window = 2500 * tickNs;
-        cfg.seed = 17;
+        cfg.seed = seed;
         const InjectorResult r = runOpenLoop(sim, *net, cfg);
 
         if (tracer) {
@@ -152,6 +153,7 @@ main(int argc, char **argv)
     setQuiet(true);
     const std::size_t jobs = jobsArg(argc, argv);
     simStatsArg(argc, argv);
+    const std::uint64_t seed = seedArg(argc, argv, 17);
     const TelemetryOptions topt = telemetryArgs(argc, argv);
 
     // --smoke: one pattern, two load points — enough to exercise the
@@ -179,8 +181,9 @@ main(int argc, char **argv)
             const std::uint32_t pid_base = curve_idx++ * pidsPerCurve;
             curve_jobs.push_back(SweepJob<Curve>{
                 pattern_name + " / " + netName(id),
-                [&sweep, id, pid_base, &topt] {
-                    return traceCurve(sweep, id, pid_base, topt);
+                [&sweep, id, pid_base, &topt, seed] {
+                    return traceCurve(sweep, id, pid_base, topt,
+                                      seed);
                 }});
         }
         std::vector<Curve> curves =

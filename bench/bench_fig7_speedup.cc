@@ -28,13 +28,14 @@ main(int argc, char **argv)
     setQuiet(true);
     const std::size_t jobs = jobsArg(argc, argv);
     simStatsArg(argc, argv);
+    const std::uint64_t seed = seedArg(argc, argv, 1);
     const TelemetryOptions topt = telemetryArgs(argc, argv);
     const std::uint64_t instr =
         instructionsArg(argc, argv, topt.smoke ? 200 : 1200);
     std::fprintf(stderr, "fig7: %llu instructions/core\n",
                  static_cast<unsigned long long>(instr));
     const auto matrix =
-        runWorkloadMatrixWithTelemetry(instr, 1, jobs, topt);
+        runWorkloadMatrixWithTelemetry(instr, seed, jobs, topt);
 
     std::printf("Figure 7: Speedup vs. Circuit-Switched Network\n\n");
     std::printf("%-14s", "workload");

@@ -26,6 +26,7 @@ main(int argc, char **argv)
     setQuiet(true);
     const std::size_t jobs = jobsArg(argc, argv);
     simStatsArg(argc, argv);
+    const std::uint64_t seed = seedArg(argc, argv, 1);
     const std::uint64_t instr = instructionsArg(argc, argv, 1200);
 
     std::printf("Figure 9: Router Energy in the Limited "
@@ -37,7 +38,7 @@ main(int argc, char **argv)
     std::vector<SweepJob<TraceCpuResult>> sweep;
     for (WorkloadSpec spec : figureWorkloads(instr)) {
         const std::uint64_t cell_seed =
-            deriveSeed(1, spec.name, "Limited Point-to-Point");
+            deriveSeed(seed, spec.name, "Limited Point-to-Point");
         sweep.push_back(SweepJob<TraceCpuResult>{
             spec.name, [spec = std::move(spec), cell_seed] {
                 Simulator sim(cell_seed);

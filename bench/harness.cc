@@ -1,6 +1,7 @@
 #include "harness.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -300,6 +301,25 @@ stripSwitch(int &argc, char **argv, const char *name)
 }
 
 } // namespace
+
+std::uint64_t
+seedArg(int &argc, char **argv, std::uint64_t fallback)
+{
+    std::string text;
+    if (!stripValueFlag(argc, argv, "seed", &text)) {
+        const char *env = std::getenv("MACROSIM_SEED");
+        if (env == nullptr || *env == '\0')
+            return fallback;
+        text = env;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        fatal("seedArg: --seed / MACROSIM_SEED must be an unsigned "
+              "integer, got '", text, "'");
+    return static_cast<std::uint64_t>(v);
+}
 
 TelemetryOptions
 telemetryArgs(int &argc, char **argv)

@@ -162,6 +162,16 @@ std::uint64_t instructionsArg(int argc, char **argv,
 std::size_t jobsArg(int &argc, char **argv);
 
 /**
+ * Base-seed knob shared by every bench: strips "--seed N" /
+ * "--seed=N" from argv (so positional arguments keep their place)
+ * and returns N; falls back to the MACROSIM_SEED environment
+ * variable, then to @p fallback — each bench's historical hard-coded
+ * seed, so default outputs stay byte-identical. Per-cell seeds are
+ * still derived from the base via deriveSeed(base, workload, network).
+ */
+std::uint64_t seedArg(int &argc, char **argv, std::uint64_t fallback);
+
+/**
  * Event-core observability knob shared by every bench: strips
  * "--sim-stats" from argv and enables per-simulation EventQueueStats
  * reporting. The MACROSIM_SIM_STATS environment variable (any

@@ -1,0 +1,109 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "net/network.hh"
+#include "sim/random.hh"
+
+namespace macrosim
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::LaserDroop: return "laser_droop";
+      case FaultKind::RingDrift: return "ring_drift";
+      case FaultKind::WaveguideCreep: return "waveguide_creep";
+      case FaultKind::ReceiverDegrade: return "receiver_degrade";
+      case FaultKind::ChannelKill: return "channel_kill";
+      case FaultKind::SiteKill: return "site_kill";
+      case FaultKind::Repair: return "repair";
+    }
+    return "unknown";
+}
+
+std::string
+FaultTarget::name(const Network &net) const
+{
+    if (scope == Scope::Site)
+        return "arch.site" + std::to_string(a);
+    return "net." + std::string(net.statName()) + ".ch"
+        + std::to_string(a) + "_" + std::to_string(b);
+}
+
+std::vector<FaultEvent>
+FaultSchedule::ordered() const
+{
+    std::vector<std::size_t> idx(events_.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::stable_sort(idx.begin(), idx.end(),
+                     [this](std::size_t x, std::size_t y) {
+                         return events_[x].at < events_[y].at;
+                     });
+    std::vector<FaultEvent> out;
+    out.reserve(events_.size());
+    for (std::size_t i : idx)
+        out.push_back(events_[i]);
+    return out;
+}
+
+FaultSchedule
+FaultSchedule::random(std::uint64_t seed, const RandomFaultConfig &config,
+                      const Network &net)
+{
+    // Same derivation discipline as deriveSeed(): the stream identity
+    // is (seed, "fault", network name), so distinct networks under one
+    // root seed draw independent timelines, and the same tuple always
+    // draws the same one.
+    Rng rng(mix64(hashCombine(hashCombine(seed, "fault"),
+                              net.name())));
+    const auto links = net.faultableLinks();
+    const SiteId sites = net.config().siteCount();
+
+    FaultSchedule sched;
+    for (std::uint32_t i = 0; i < config.events; ++i) {
+        FaultEvent ev;
+        ev.at = 1 + static_cast<Tick>(rng.below(
+            config.horizon > 0 ? config.horizon : 1));
+
+        const bool kill = rng.chance(config.killFraction);
+        const bool on_site = links.empty()
+            || (kill && rng.chance(config.siteFraction));
+        if (on_site) {
+            ev.target = FaultTarget::site(
+                static_cast<SiteId>(rng.below(sites)));
+            ev.kind = FaultKind::SiteKill;
+        } else {
+            const auto &[a, b] = links[rng.below(links.size())];
+            ev.target = FaultTarget::channel(a, b);
+            if (kill) {
+                ev.kind = FaultKind::ChannelKill;
+            } else {
+                switch (rng.below(4)) {
+                  case 0: ev.kind = FaultKind::LaserDroop; break;
+                  case 1: ev.kind = FaultKind::RingDrift; break;
+                  case 2: ev.kind = FaultKind::WaveguideCreep; break;
+                  default: ev.kind = FaultKind::ReceiverDegrade; break;
+                }
+                ev.magnitudeDb =
+                    rng.uniform() * config.maxMagnitudeDb;
+            }
+        }
+        sched.add(ev);
+
+        if (rng.chance(config.repairFraction)) {
+            FaultEvent fix;
+            fix.target = ev.target;
+            fix.kind = FaultKind::Repair;
+            const Tick left = config.horizon > ev.at
+                ? config.horizon - ev.at : 1;
+            fix.at = ev.at + 1 + static_cast<Tick>(rng.below(left));
+            sched.add(fix);
+        }
+    }
+    return sched;
+}
+
+} // namespace macrosim

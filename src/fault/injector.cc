@@ -1,0 +1,189 @@
+#include "fault/injector.hh"
+
+#include "sim/logging.hh"
+#include "sim/telemetry/trace.hh"
+
+namespace macrosim
+{
+
+FaultInjector::FaultInjector(Simulator &sim, Network &net,
+                             FaultSchedule schedule,
+                             const FaultModelParams &params,
+                             TraceSink *trace, std::uint32_t trace_pid)
+    : sim_(sim), net_(net), schedule_(std::move(schedule)),
+      params_(params), trace_(trace), tracePid_(trace_pid),
+      minMarginDb_(params.basePath
+                       .margin(params.launch, params.sensitivity)
+                       .value())
+{
+    registerStats();
+}
+
+void
+FaultInjector::registerStats()
+{
+    StatRegistry &reg = sim_.telemetry();
+    const std::string prefix = reg.uniquePrefix("fault");
+    reg.add(prefix + ".injected", [this] {
+        return static_cast<double>(injected_);
+    });
+    reg.add(prefix + ".repairs", [this] {
+        return static_cast<double>(repairs_);
+    });
+    reg.add(prefix + ".links_down", [this] {
+        return static_cast<double>(linksDown_);
+    });
+    reg.add(prefix + ".derated", [this] {
+        return static_cast<double>(derated_);
+    });
+    reg.add(prefix + ".site_kills", [this] {
+        return static_cast<double>(sitesDown_);
+    });
+    reg.add(prefix + ".min_margin_db", [this] {
+        return minMarginDb_;
+    });
+}
+
+void
+FaultInjector::arm()
+{
+    if (armed_)
+        panic("FaultInjector::arm: already armed");
+    armed_ = true;
+    for (const FaultEvent &ev : schedule_.ordered()) {
+        sim_.events().schedule(ev.at, [this, ev] { apply(ev); },
+                               "fault.inject");
+    }
+}
+
+LinkHealth
+FaultInjector::evaluate(const Health &h, double &margin_db) const
+{
+    // The accumulated soft degradation re-runs the section 2 budget:
+    // added component loss through deratedPath(), dimmer launch,
+    // deafer receiver. One arithmetic path, shared with the tests.
+    const Decibel margin = params_.basePath
+        .deratedPath(Decibel(h.dropDb + h.wgDb))
+        .margin(params_.launch - Decibel(h.droopDb),
+                params_.sensitivity + Decibel(h.rxDb));
+    margin_db = margin.value();
+
+    LinkHealth out;
+    out.down = h.killed || margin.value() < 0.0;
+    if (!out.down && margin < params_.derateThreshold)
+        out.bandwidthFraction = params_.deratedFraction;
+    return out;
+}
+
+double
+FaultInjector::marginDbOf(const FaultTarget &target) const
+{
+    Health h;
+    const auto it = channels_.find(target.key());
+    if (it != channels_.end())
+        h = it->second;
+    double margin_db = 0.0;
+    evaluate(h, margin_db);
+    return margin_db;
+}
+
+void
+FaultInjector::apply(const FaultEvent &ev)
+{
+    if (ev.target.scope == FaultTarget::Scope::Site)
+        applySite(ev);
+    else
+        applyChannel(ev);
+
+    if (trace_) {
+        trace_->instant(std::string(faultKindName(ev.kind)) + " "
+                            + ev.target.name(net_),
+                        "fault", tracePid_, 0, sim_.now());
+    }
+}
+
+void
+FaultInjector::applyChannel(const FaultEvent &ev)
+{
+    Health &h = channels_[ev.target.key()];
+    double before_db = 0.0;
+    const LinkHealth before = evaluate(h, before_db);
+
+    switch (ev.kind) {
+      case FaultKind::LaserDroop:
+        h.droopDb += ev.magnitudeDb;
+        break;
+      case FaultKind::RingDrift:
+        h.dropDb += ev.magnitudeDb;
+        break;
+      case FaultKind::WaveguideCreep:
+        h.wgDb += ev.magnitudeDb;
+        break;
+      case FaultKind::ReceiverDegrade:
+        h.rxDb += ev.magnitudeDb;
+        break;
+      case FaultKind::ChannelKill:
+        h.killed = true;
+        break;
+      case FaultKind::Repair:
+        h = Health{};
+        break;
+      case FaultKind::SiteKill:
+        panic("FaultInjector: SiteKill against a channel target");
+    }
+
+    double after_db = 0.0;
+    const LinkHealth after = evaluate(h, after_db);
+    if (!net_.applyLinkHealth(ev.target.a, ev.target.b, after)) {
+        warn_once("fault: network '", net_.name(),
+                  "' has no channel (", ev.target.a, ", ",
+                  ev.target.b, "); event ignored");
+        return;
+    }
+
+    if (ev.kind == FaultKind::Repair)
+        ++repairs_;
+    else
+        ++injected_;
+    if (after_db < minMarginDb_)
+        minMarginDb_ = after_db;
+
+    const bool was_derated = !before.down
+        && before.bandwidthFraction < 1.0;
+    const bool is_derated = !after.down
+        && after.bandwidthFraction < 1.0;
+    if (after.down && !before.down)
+        ++linksDown_;
+    else if (!after.down && before.down)
+        --linksDown_;
+    if (is_derated && !was_derated)
+        ++derated_;
+    else if (!is_derated && was_derated)
+        --derated_;
+}
+
+void
+FaultInjector::applySite(const FaultEvent &ev)
+{
+    bool &dead = sites_[ev.target.key()];
+    const bool was_dead = dead;
+    dead = ev.kind != FaultKind::Repair;
+    if (!net_.applySiteHealth(ev.target.a, dead)) {
+        dead = was_dead;
+        warn_once("fault: network '", net_.name(),
+                  "' has no per-site routing resource; site event "
+                  "ignored");
+        return;
+    }
+
+    if (ev.kind == FaultKind::Repair)
+        ++repairs_;
+    else
+        ++injected_;
+    if (dead && !was_dead)
+        ++sitesDown_;
+    else if (!dead && was_dead)
+        --sitesDown_;
+}
+
+} // namespace macrosim

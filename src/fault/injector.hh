@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Live fault injection: schedule replay + link-margin re-evaluation.
+ *
+ * A FaultInjector arms a FaultSchedule against one simulation: each
+ * event fires at its appointed tick, updates the target's accumulated
+ * degradation, and re-evaluates the affected OpticalPath's margin
+ * through LinkBudget's deratedPath() — the same arithmetic the static
+ * Table 5 analysis uses. Negative margin (or a hard kill) marks the
+ * channel down; margin still positive but inside the derate threshold
+ * masks wavelengths, reducing the channel's aggregate bandwidth. Both
+ * transitions surface as trace instant events and "fault.*" stats.
+ */
+
+#ifndef MACROSIM_FAULT_INJECTOR_HH
+#define MACROSIM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "fault/fault.hh"
+#include "net/network.hh"
+#include "photonics/link_budget.hh"
+#include "sim/simulator.hh"
+
+namespace macrosim
+{
+
+class TraceSink;
+
+/** Optical parameters the injector evaluates margins against. */
+struct FaultModelParams
+{
+    /** The healthy path every channel is engineered to (17 dB). */
+    OpticalPath basePath = canonicalUnswitchedLink();
+    PowerDbm launch = launchPower;
+    PowerDbm sensitivity = receiverSensitivity;
+    /** Margin below this (but still >= 0) derates the channel. */
+    Decibel derateThreshold{2.0};
+    /** Bandwidth fraction of a derated (reduced-margin) channel. */
+    double deratedFraction = 0.5;
+};
+
+class FaultInjector
+{
+  public:
+    /**
+     * @param trace Optional sink for "fault" instant events;
+     *        @p trace_pid is the Perfetto process row to use.
+     */
+    FaultInjector(Simulator &sim, Network &net, FaultSchedule schedule,
+                  const FaultModelParams &params = {},
+                  TraceSink *trace = nullptr,
+                  std::uint32_t trace_pid = 0);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Schedule every fault event; call once, before running. */
+    void arm();
+
+    /** Replay one event immediately (tests / manual timelines). */
+    void apply(const FaultEvent &ev);
+
+    /** Margin of a channel target right now, in dB. */
+    double marginDbOf(const FaultTarget &target) const;
+
+    std::uint64_t injectedFaults() const { return injected_; }
+    std::uint64_t repairs() const { return repairs_; }
+    /** Channels currently down (killed or negative margin). */
+    std::uint64_t linksDown() const { return linksDown_; }
+    /** Channels currently bandwidth-derated (margin in (0, thr)). */
+    std::uint64_t linksDerated() const { return derated_; }
+    /** Sites whose routing resources are currently dead. */
+    std::uint64_t sitesDown() const { return sitesDown_; }
+    /** Lowest channel margin seen across the run, in dB. */
+    double minMarginDb() const { return minMarginDb_; }
+
+  private:
+    /** Accumulated degradation of one channel target. */
+    struct Health
+    {
+        double droopDb = 0.0;  ///< Laser launch-power droop.
+        double dropDb = 0.0;   ///< Ring-drift drop-filter loss.
+        double wgDb = 0.0;     ///< Waveguide loss creep.
+        double rxDb = 0.0;     ///< Receiver sensitivity penalty.
+        bool killed = false;
+    };
+
+    /** Margin -> LinkHealth under the model params. */
+    LinkHealth evaluate(const Health &h, double &margin_db) const;
+
+    void applyChannel(const FaultEvent &ev);
+    void applySite(const FaultEvent &ev);
+    void registerStats();
+
+    Simulator &sim_;
+    Network &net_;
+    FaultSchedule schedule_;
+    FaultModelParams params_;
+    TraceSink *trace_;
+    std::uint32_t tracePid_;
+    bool armed_ = false;
+
+    std::unordered_map<std::uint64_t, Health> channels_;
+    std::unordered_map<std::uint64_t, bool> sites_;
+
+    std::uint64_t injected_ = 0;
+    std::uint64_t repairs_ = 0;
+    std::uint64_t linksDown_ = 0;
+    std::uint64_t derated_ = 0;
+    std::uint64_t sitesDown_ = 0;
+    double minMarginDb_;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_FAULT_INJECTOR_HH

@@ -66,17 +66,43 @@ class OpticalChannel
      * @param propagation Source-to-destination flight time.
      */
     OpticalChannel(std::uint32_t wavelengths, Tick propagation)
-        : wavelengths_(wavelengths), propagation_(propagation)
+        : wavelengths_(wavelengths), active_(wavelengths),
+          propagation_(propagation)
     {}
 
     std::uint32_t wavelengths() const { return wavelengths_; }
     Tick propagation() const { return propagation_; }
 
+    /**
+     * Wavelengths currently usable: the engineered width minus any
+     * masked by the fault model. Serialization time scales with the
+     * active count, so a degraded channel delivers at reduced
+     * aggregate bandwidth instead of failing outright.
+     */
+    std::uint32_t activeWavelengths() const { return active_; }
+
+    /**
+     * Mask degraded wavelengths: keep @p active of the channel's
+     * lambdas usable (clamped to [1, wavelengths()]). Restoring the
+     * full count models a repair.
+     */
+    void
+    maskWavelengths(std::uint32_t active)
+    {
+        active_ = active < 1 ? 1
+                : active > wavelengths_ ? wavelengths_
+                : active;
+    }
+
+    /** Hard channel failure: a down channel carries no traffic. */
+    void setDown(bool down) { down_ = down; }
+    bool down() const { return down_; }
+
     /** Channel bandwidth in bytes per nanosecond. */
     double
     bandwidthBytesPerNs() const
     {
-        return static_cast<double>(wavelengths_)
+        return static_cast<double>(active_)
             * bytesPerNsPerWavelength;
     }
 
@@ -88,8 +114,8 @@ class OpticalChannel
         // transfer never takes zero time.
         const std::uint64_t ps =
             (static_cast<std::uint64_t>(bytes) * 1000ull * 8ull
-             + (static_cast<std::uint64_t>(wavelengths_) * 20ull) - 1)
-            / (static_cast<std::uint64_t>(wavelengths_) * 20ull);
+             + (static_cast<std::uint64_t>(active_) * 20ull) - 1)
+            / (static_cast<std::uint64_t>(active_) * 20ull);
         return ps;
     }
 
@@ -123,6 +149,8 @@ class OpticalChannel
 
   private:
     std::uint32_t wavelengths_;
+    std::uint32_t active_;
+    bool down_ = false;
     Tick propagation_;
     BusyResource line_;
 };

@@ -16,6 +16,7 @@ CircuitSwitchedTorus::CircuitSwitchedTorus(Simulator &sim,
       ctrlRouterDelay_(config.clockPeriod),
       hopPropagation_(MacrochipGeometry::waveguideDelay(
           config.sitePitchCm)),
+      deadSites_(config.siteCount(), false),
       freeGateways_(config.siteCount(), gateways_per_site),
       waiting_(config.siteCount()),
       ctrlRouters_(config.siteCount())
@@ -43,6 +44,9 @@ CircuitSwitchedTorus::registerStats(StatRegistry &registry,
     Network::registerStats(registry, prefix);
     registry.add(prefix + ".circuits", [this] {
         return static_cast<double>(circuits_);
+    });
+    registry.add(prefix + ".reroutes", [this] {
+        return static_cast<double>(reroutes_);
     });
     // The serial per-site control routers are this network's
     // bottleneck; their mean occupancy shows how close the setup
@@ -92,6 +96,56 @@ CircuitSwitchedTorus::torusPath(SiteId src, SiteId dst) const
     return path;
 }
 
+std::vector<SiteId>
+CircuitSwitchedTorus::torusPathYX(SiteId src, SiteId dst) const
+{
+    // Same minimal-wraparound walk, dimensions in the other order (Y
+    // then X) — the alternate route when the XY path crosses a dead
+    // switch site.
+    std::vector<SiteId> path;
+    SiteCoord cur = geometry().coordOf(src);
+    const SiteCoord goal = geometry().coordOf(dst);
+    const std::uint32_t n_cols = geometry().cols();
+    const std::uint32_t n_rows = geometry().rows();
+
+    auto step = [](std::uint32_t from, std::uint32_t to,
+                   std::uint32_t n) -> std::uint32_t {
+        if (from == to)
+            return from;
+        const std::uint32_t fwd = (to + n - from) % n;
+        return (fwd <= n - fwd) ? (from + 1) % n : (from + n - 1) % n;
+    };
+
+    while (cur.row != goal.row) {
+        cur.row = step(cur.row, goal.row, n_rows);
+        if (cur.row != goal.row || cur.col != goal.col)
+            path.push_back(geometry().idOf(cur));
+    }
+    while (cur.col != goal.col) {
+        cur.col = step(cur.col, goal.col, n_cols);
+        if (cur.col != goal.col)
+            path.push_back(geometry().idOf(cur));
+    }
+    return path;
+}
+
+bool
+CircuitSwitchedTorus::pathBlocked(const std::vector<SiteId> &path) const
+{
+    return std::any_of(path.begin(), path.end(), [this](SiteId s) {
+        return deadSites_[s];
+    });
+}
+
+bool
+CircuitSwitchedTorus::applySiteHealth(SiteId site, bool dead)
+{
+    if (site >= config().siteCount())
+        return false;
+    deadSites_[site] = dead;
+    return true;
+}
+
 void
 CircuitSwitchedTorus::route(Message msg)
 {
@@ -104,14 +158,28 @@ void
 CircuitSwitchedTorus::dispatch(SiteId site)
 {
     while (freeGateways_[site] > 0 && !waiting_[site].empty()) {
-        --freeGateways_[site];
         Message msg = std::move(waiting_[site].front());
         waiting_[site].pop_front();
+
+        // Select the circuit's switch path before consuming a
+        // gateway: the XY route, or the YX alternate when the XY
+        // walk would program a dead switch site. With both routes
+        // blocked the pair is unreachable this attempt.
+        std::vector<SiteId> path = torusPath(msg.src, msg.dst);
+        if (pathBlocked(path)) {
+            path = torusPathYX(msg.src, msg.dst);
+            if (pathBlocked(path)) {
+                dropPacket(std::move(msg),
+                           "both torus paths cross dead switch sites");
+                continue;
+            }
+            ++reroutes_;
+        }
+        --freeGateways_[site];
 
         // Launch the setup packet: serialized by the source's
         // control transmitter, then it flies to the first switch
         // point.
-        std::vector<SiteId> path = torusPath(msg.src, msg.dst);
         const Tick depart =
             ctrlRouters_[site].reserve(now(), ctrlSerialization_)
             + ctrlSerialization_;

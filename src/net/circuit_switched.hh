@@ -62,13 +62,27 @@ class CircuitSwitchedTorus : public Network
     /** XY-with-wraparound torus route, intermediate sites only. */
     std::vector<SiteId> torusPath(SiteId src, SiteId dst) const;
 
+    /** The YX alternate route used when the XY path crosses a dead
+     *  switch site. */
+    std::vector<SiteId> torusPathYX(SiteId src, SiteId dst) const;
+
     /** Circuits fully completed (setup + data + teardown). */
     std::uint64_t circuitsCompleted() const { return circuits_; }
+
+    /** Circuits that re-selected the YX path around a dead site. */
+    std::uint64_t reroutedCircuits() const { return reroutes_; }
+
+    /** Site kill / repair marks the site's switch row unusable as an
+     *  intermediate hop; circuits re-select around it. */
+    bool applySiteHealth(SiteId site, bool dead) override;
 
   protected:
     void route(Message msg) override;
 
   private:
+    /** Whether a setup walk along @p path would hit a dead site. */
+    bool pathBlocked(const std::vector<SiteId> &path) const;
+
     /** Dispatch queued circuits onto free gateways of @p site. */
     void dispatch(SiteId site);
 
@@ -86,6 +100,10 @@ class CircuitSwitchedTorus : public Network
     Tick hopPropagation_;    ///< Site-to-site flight time (0.25 ns).
     Tick dataSerialization64_; ///< Cached for tests.
     std::uint64_t circuits_ = 0;
+    std::uint64_t reroutes_ = 0;
+
+    /** Sites whose switch row is dead (fault model). */
+    std::vector<bool> deadSites_;
 
     /** Free circuit gateways per site. */
     std::vector<std::uint32_t> freeGateways_;

@@ -92,11 +92,59 @@ LimitedPointToPointNetwork::failSiteRouters(SiteId site)
     failedRouters_[site] = true;
 }
 
+std::vector<std::pair<SiteId, SiteId>>
+LimitedPointToPointNetwork::faultableLinks() const
+{
+    std::vector<std::pair<SiteId, SiteId>> links;
+    const auto n = config().siteCount();
+    for (SiteId s = 0; s < n; ++s)
+        for (SiteId d = 0; d < n; ++d)
+            if (s != d && arePeers(s, d))
+                links.emplace_back(s, d);
+    return links;
+}
+
+bool
+LimitedPointToPointNetwork::applyLinkHealth(SiteId a, SiteId b,
+                                            const LinkHealth &health)
+{
+    if (a == b || a >= config().siteCount()
+        || b >= config().siteCount() || !arePeers(a, b)) {
+        return false;
+    }
+    OpticalChannel &ch = peerChannel(a, b);
+    ch.setDown(health.down);
+    ch.maskWavelengths(static_cast<std::uint32_t>(
+        static_cast<double>(lambdas_) * health.bandwidthFraction + 0.5));
+    return true;
+}
+
+bool
+LimitedPointToPointNetwork::applySiteHealth(SiteId site, bool dead)
+{
+    if (site >= config().siteCount())
+        return false;
+    failedRouters_[site] = dead;
+    return true;
+}
+
+bool
+LimitedPointToPointNetwork::forwarderUsable(SiteId src, SiteId via,
+                                            SiteId dst)
+{
+    return !failedRouters_[via] && !peerChannel(src, via).down()
+        && !peerChannel(via, dst).down();
+}
+
 void
 LimitedPointToPointNetwork::route(Message msg)
 {
     if (arePeers(msg.src, msg.dst)) {
         OpticalChannel &ch = peerChannel(msg.src, msg.dst);
+        if (ch.down()) {
+            dropPacket(std::move(msg), "peer channel down");
+            return;
+        }
         msg.serialization = ch.serialization(msg.bytes);
         const Tick arrival = ch.transmit(now() + interfaceOverhead_,
                                          msg.bytes);
@@ -107,14 +155,17 @@ LimitedPointToPointNetwork::route(Message msg)
 
     // Two-hop path through the forwarding peer: optical to the
     // forwarder, O-E, one-cycle electronic route, E-O, optical to the
-    // destination. A failed forwarder is routed around through the
-    // alternate (column-first) intersection site.
+    // destination. A failed forwarder (dead routers or a dead leg
+    // channel) is routed around through the alternate (column-first)
+    // intersection site; with both intersections unusable, the pair
+    // is disconnected and the packet falls to the drop/retry path.
     SiteId via = forwarderFor(msg.src, msg.dst);
-    if (failedRouters_[via]) {
+    if (!forwarderUsable(msg.src, via, msg.dst)) {
         via = alternateForwarderFor(msg.src, msg.dst);
-        if (failedRouters_[via]) {
-            fatal("LimitedPointToPoint: both forwarders for ",
-                  msg.src, "->", msg.dst, " have failed routers");
+        if (!forwarderUsable(msg.src, via, msg.dst)) {
+            dropPacket(std::move(msg),
+                       "both forwarders for the pair are down");
+            return;
         }
         ++rerouted_;
     }

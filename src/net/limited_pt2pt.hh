@@ -85,11 +85,23 @@ class LimitedPointToPointNetwork : public Network
     /** Packets that needed an intermediate electronic hop. */
     std::uint64_t forwardedPackets() const { return forwarded_; }
 
+    /** The peer channels (row/column neighbours) are faultable. */
+    std::vector<std::pair<SiteId, SiteId>> faultableLinks() const override;
+
+    bool applyLinkHealth(SiteId a, SiteId b,
+                         const LinkHealth &health) override;
+
+    /** Site kill / repair toggles the site's electronic routers. */
+    bool applySiteHealth(SiteId site, bool dead) override;
+
   protected:
     void route(Message msg) override;
 
   private:
     OpticalChannel &peerChannel(SiteId src, SiteId dst);
+
+    /** Whether @p via can forward: live routers and live legs. */
+    bool forwarderUsable(SiteId src, SiteId via, SiteId dst);
 
     /** Second (optical) leg of a forwarded packet. */
     void forwardLeg(Message msg, SiteId via);

@@ -60,6 +60,13 @@ struct Message
     /** Free-form field for workload drivers. */
     std::uint64_t cookie = 0;
 
+    /**
+     * Delivery attempts consumed so far (fault model). Zero on first
+     * injection; the network's retry machinery increments it on each
+     * failed routing attempt until the retry policy is exhausted.
+     */
+    std::uint8_t attempts = 0;
+
     Tick
     latency() const
     {

@@ -51,6 +51,33 @@ Network::deliverAt(Message msg, Tick when)
     }, "net.deliver");
 }
 
+void
+Network::dropPacket(Message msg, const char *reason)
+{
+    if (retry_.enabled() && msg.attempts + 1u < retry_.maxAttempts) {
+        // Retry through route() directly (not inject()) so injection
+        // stats count the packet once. Exponential backoff spreads
+        // re-attempts out so a transient fault can clear.
+        ++msg.attempts;
+        ++stats_.retries;
+        const Tick backoff = retry_.backoffBase
+            << (msg.attempts > 1 ? msg.attempts - 1 : 0);
+        sim_.events().schedule(now() + (backoff > 0 ? backoff : 1),
+                               [this, msg]() mutable {
+            route(std::move(msg));
+        }, "net.retry");
+        return;
+    }
+    if (retry_.enabled() || dropHandler_) {
+        ++stats_.dropped;
+        if (dropHandler_)
+            dropHandler_(msg);
+        return;
+    }
+    fatal("network '", name(), "': packet ", msg.id, " (site ",
+          msg.src, " -> ", msg.dst, ") undeliverable: ", reason);
+}
+
 double
 Network::laserWatts() const
 {
@@ -102,6 +129,8 @@ Network::registerStats(StatRegistry &registry,
     registry.addCounter(prefix + ".delivered", stats_.delivered);
     registry.addCounter(prefix + ".bytes", stats_.bytesDelivered);
     registry.addMean(prefix + ".latency_ns", stats_.latencyNs);
+    registry.addCounter(prefix + ".dropped", stats_.dropped);
+    registry.addCounter(prefix + ".retries", stats_.retries);
     const EnergyModel *e = &energy_;
     registry.add(prefix + ".optical_bits", [e] {
         return static_cast<double>(e->opticalBits());

@@ -18,6 +18,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "arch/config.hh"
@@ -49,6 +50,10 @@ struct NetworkStats
     Counter bytesDelivered;
     /** End-to-end latency per delivered packet, nanoseconds. */
     Accumulator latencyNs;
+    /** Packets abandoned after the retry policy was exhausted. */
+    Counter dropped;
+    /** Re-routing attempts scheduled by the retry policy. */
+    Counter retries;
 
     void
     reset()
@@ -57,7 +62,37 @@ struct NetworkStats
         delivered.reset();
         bytesDelivered.reset();
         latencyNs.reset();
+        dropped.reset();
+        retries.reset();
     }
+};
+
+/**
+ * Health of one fault-injectable link, as the fault model sees it
+ * after margin re-evaluation: down means no traffic at all, while a
+ * bandwidthFraction below 1.0 derates the link's bit rate (wavelength
+ * masking) without taking it out of service.
+ */
+struct LinkHealth
+{
+    bool down = false;
+    double bandwidthFraction = 1.0;
+};
+
+/**
+ * Bounded-retry policy for packets that hit a dead resource. A packet
+ * whose routing attempt fails is re-queued after
+ * backoffBase << (attempts - 1) ticks, up to maxAttempts total
+ * attempts; after that it is dropped (counted, surfaced to the drop
+ * handler, non-fatal). With no policy set a failed routing attempt is
+ * a fatal error, preserving the strict pre-fault-model behaviour.
+ */
+struct RetryPolicy
+{
+    Tick backoffBase = 0;
+    std::uint32_t maxAttempts = 0;
+
+    bool enabled() const { return maxAttempts > 0; }
 };
 
 class Network
@@ -109,6 +144,60 @@ class Network
     const MacrochipConfig &config() const { return config_; }
     const MacrochipGeometry &geometry() const { return geometry_; }
     Simulator &sim() { return sim_; }
+
+    /**
+     * Ordered (src, dst) pairs whose channel (or channel bundle) the
+     * fault model may degrade independently. Topologies without
+     * per-pair channels return their natural fault granularity (token
+     * ring: per-destination bundles as (d, d); two-phase: shared
+     * channels as (row, dst)). Default: nothing faultable.
+     */
+    virtual std::vector<std::pair<SiteId, SiteId>> faultableLinks() const
+    {
+        return {};
+    }
+
+    /**
+     * Push re-evaluated health for the link keyed (a, b) — a key
+     * previously returned by faultableLinks(). @return false when
+     * this topology has no such link.
+     */
+    virtual bool
+    applyLinkHealth(SiteId a, SiteId b, const LinkHealth &health)
+    {
+        (void)a; (void)b; (void)health;
+        return false;
+    }
+
+    /**
+     * Mark a site's routing resources (electronic routers, switch
+     * rows) dead or repaired. @return false when this topology has no
+     * per-site routing resource to fail.
+     */
+    virtual bool
+    applySiteHealth(SiteId site, bool dead)
+    {
+        (void)site; (void)dead;
+        return false;
+    }
+
+    /**
+     * Enable bounded retry with exponential backoff for packets whose
+     * routing attempt hits a dead resource. Without a policy such
+     * packets are a fatal error.
+     */
+    void setRetryPolicy(const RetryPolicy &policy) { retry_ = policy; }
+    const RetryPolicy &retryPolicy() const { return retry_; }
+
+    /**
+     * Register a callback invoked when a packet is abandoned after
+     * retry exhaustion (or immediately, with no retry policy set).
+     * Workloads use this to count losses instead of dying.
+     */
+    void setDropHandler(Handler h) { dropHandler_ = std::move(h); }
+
+    std::uint64_t droppedPackets() const { return stats_.dropped.value(); }
+    std::uint64_t retriedPackets() const { return stats_.retries.value(); }
 
     /** Table 6 row for this network. */
     virtual ComponentCounts componentCounts() const = 0;
@@ -169,6 +258,16 @@ class Network
      */
     void deliverAt(Message msg, Tick when);
 
+    /**
+     * A routing attempt for @p msg hit a dead resource (@p reason).
+     * With a retry policy and attempts remaining, re-queues the packet
+     * into route() after exponential backoff; once exhausted, counts
+     * the drop and notifies the drop handler. Without either a policy
+     * or a drop handler this is a fatal error — the strict behaviour
+     * models relied on before the fault subsystem existed.
+     */
+    void dropPacket(Message msg, const char *reason);
+
     /** Charge one optical hop's transceiver energy for @p msg. */
     void
     chargeOpticalHop(const Message &msg)
@@ -188,6 +287,8 @@ class Network
     std::vector<Handler> handlers_;
     Handler defaultHandler_;
     Handler observer_;
+    Handler dropHandler_;
+    RetryPolicy retry_;
     MessageId nextId_ = 1;
     std::string statPrefix_;
 };

@@ -62,6 +62,32 @@ PointToPointNetwork::channel(SiteId src, SiteId dst) const
                      * config().siteCount() + dst];
 }
 
+std::vector<std::pair<SiteId, SiteId>>
+PointToPointNetwork::faultableLinks() const
+{
+    std::vector<std::pair<SiteId, SiteId>> links;
+    const auto n = config().siteCount();
+    links.reserve(static_cast<std::size_t>(n) * (n - 1));
+    for (SiteId s = 0; s < n; ++s)
+        for (SiteId d = 0; d < n; ++d)
+            if (s != d)
+                links.emplace_back(s, d);
+    return links;
+}
+
+bool
+PointToPointNetwork::applyLinkHealth(SiteId a, SiteId b,
+                                     const LinkHealth &health)
+{
+    if (a >= config().siteCount() || b >= config().siteCount())
+        return false;
+    OpticalChannel &ch = channelRef(a, b);
+    ch.setDown(health.down);
+    ch.maskWavelengths(static_cast<std::uint32_t>(
+        static_cast<double>(lambdas_) * health.bandwidthFraction + 0.5));
+    return true;
+}
+
 void
 PointToPointNetwork::route(Message msg)
 {
@@ -70,6 +96,10 @@ PointToPointNetwork::route(Message msg)
     // receiver. The channel's busy-until scheduling queues back-to-
     // back packets of this pair FIFO.
     OpticalChannel &ch = channelRef(msg.src, msg.dst);
+    if (ch.down()) {
+        dropPacket(std::move(msg), "pair channel down");
+        return;
+    }
     msg.serialization = ch.serialization(msg.bytes);
     const Tick arrival = ch.transmit(now() + interfaceOverhead_,
                                      msg.bytes);

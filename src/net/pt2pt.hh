@@ -44,6 +44,12 @@ class PointToPointNetwork : public Network
     /** Direct access for tests: the channel for an ordered pair. */
     const OpticalChannel &channel(SiteId src, SiteId dst) const;
 
+    /** Every ordered pair owns a channel the fault model can degrade. */
+    std::vector<std::pair<SiteId, SiteId>> faultableLinks() const override;
+
+    bool applyLinkHealth(SiteId a, SiteId b,
+                         const LinkHealth &health) override;
+
   protected:
     void route(Message msg) override;
 

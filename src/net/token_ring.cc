@@ -73,10 +73,43 @@ TokenRingCrossbar::tokenArrival(const Arbiter &arb, std::uint32_t pos,
     return arrival;
 }
 
+std::vector<std::pair<SiteId, SiteId>>
+TokenRingCrossbar::faultableLinks() const
+{
+    std::vector<std::pair<SiteId, SiteId>> links;
+    links.reserve(config().siteCount());
+    for (SiteId d = 0; d < config().siteCount(); ++d)
+        links.emplace_back(d, d);
+    return links;
+}
+
+bool
+TokenRingCrossbar::applyLinkHealth(SiteId a, SiteId b,
+                                   const LinkHealth &health)
+{
+    if (a != b || a >= config().siteCount())
+        return false;
+    Arbiter &arb = arbiters_[a];
+    arb.down = health.down;
+    if (health.bandwidthFraction >= 1.0) {
+        arb.maskedLambdas = 0;
+    } else {
+        const auto masked = static_cast<std::uint32_t>(
+            static_cast<double>(bundleLambdas_)
+            * health.bandwidthFraction + 0.5);
+        arb.maskedLambdas = masked < 1 ? 1 : masked;
+    }
+    return true;
+}
+
 void
 TokenRingCrossbar::route(Message msg)
 {
     Arbiter &arb = arbiters_[msg.dst];
+    if (arb.down) {
+        dropPacket(std::move(msg), "destination bundle down");
+        return;
+    }
     arb.waiting.push_back(Waiter{std::move(msg), now()});
     armGrant(arb.waiting.back().msg.dst);
 }
@@ -121,11 +154,20 @@ TokenRingCrossbar::grant(SiteId dst, std::size_t waiter_idx)
     arb.waiting.erase(arb.waiting.begin()
                       + static_cast<std::ptrdiff_t>(waiter_idx));
 
+    if (arb.down) {
+        // The bundle failed while this waiter held a grant slot.
+        dropPacket(std::move(w.msg), "destination bundle down");
+        armGrant(dst);
+        return;
+    }
+
     // The sender holds the token while it streams the packet onto
     // the destination's bundle, then re-injects it at its own ring
-    // position.
+    // position. Masked (degraded) wavelengths stretch the hold.
     const std::uint32_t src_pos = ringPos_[w.msg.src];
-    const Tick hold = OpticalChannel(bundleLambdas_, 0)
+    const std::uint32_t width = arb.maskedLambdas
+        ? arb.maskedLambdas : bundleLambdas_;
+    const Tick hold = OpticalChannel(width, 0)
         .serialization(w.msg.bytes);
     const Tick hold_end = now() + hold;
     arb.tokenPos = src_pos;

@@ -63,6 +63,16 @@ class TokenRingCrossbar : public Network
 
     std::uint32_t ringSize() const { return config().siteCount(); }
 
+    /**
+     * The fault granularity is the per-destination waveguide bundle,
+     * keyed (d, d): any sender modulates the same bundle, so a fault
+     * degrades every path toward that destination at once.
+     */
+    std::vector<std::pair<SiteId, SiteId>> faultableLinks() const override;
+
+    bool applyLinkHealth(SiteId a, SiteId b,
+                         const LinkHealth &health) override;
+
   protected:
     void route(Message msg) override;
 
@@ -81,6 +91,9 @@ class TokenRingCrossbar : public Network
         Tick busyTicks = 0;         ///< Cumulative token hold time.
         std::deque<Waiter> waiting;
         EventId grantEvent = invalidEventId;
+        bool down = false;          ///< Bundle carries no traffic.
+        /** Masked bundle width; 0 means the full engineered width. */
+        std::uint32_t maskedLambdas = 0;
     };
 
     /** Forward ring distance, in hops, from index @p from to @p to;

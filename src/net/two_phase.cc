@@ -64,6 +64,38 @@ TwoPhaseArbitratedNetwork::registerStats(StatRegistry &registry,
     });
 }
 
+std::vector<std::pair<SiteId, SiteId>>
+TwoPhaseArbitratedNetwork::faultableLinks() const
+{
+    std::vector<std::pair<SiteId, SiteId>> links;
+    links.reserve(static_cast<std::size_t>(config().rows)
+                  * config().siteCount());
+    for (std::uint32_t row = 0; row < config().rows; ++row)
+        for (SiteId d = 0; d < config().siteCount(); ++d)
+            links.emplace_back(row, d);
+    return links;
+}
+
+bool
+TwoPhaseArbitratedNetwork::applyLinkHealth(SiteId a, SiteId b,
+                                           const LinkHealth &health)
+{
+    if (a >= config().rows || b >= config().siteCount())
+        return false;
+    DataChannel &ch = channels_[static_cast<std::size_t>(a)
+                                * config().siteCount() + b];
+    ch.down = health.down;
+    if (health.bandwidthFraction >= 1.0) {
+        ch.maskedLambdas = 0;
+    } else {
+        const auto masked = static_cast<std::uint32_t>(
+            static_cast<double>(channelLambdas_)
+            * health.bandwidthFraction + 0.5);
+        ch.maskedLambdas = masked < 1 ? 1 : masked;
+    }
+    return true;
+}
+
 void
 TwoPhaseArbitratedNetwork::route(Message msg)
 {
@@ -80,6 +112,17 @@ TwoPhaseArbitratedNetwork::arbitrate(Message msg, Tick post_time)
     // the next free data slot on the shared channel (requests are
     // pipelined, so slots are committed immediately and in request
     // order).
+    {
+        // A dead shared channel cannot be granted at all; fail the
+        // packet into the drop/retry path before arbitration.
+        const DataChannel &probe_ch =
+            channels_[channelIndex(msg.src, msg.dst)];
+        if (probe_ch.down) {
+            dropPacket(std::move(msg), "shared data channel down");
+            return;
+        }
+    }
+
     const Tick slot_aligned = post_time % arbSlot_ == 0
         ? post_time
         : post_time + (arbSlot_ - post_time % arbSlot_);
@@ -112,7 +155,8 @@ TwoPhaseArbitratedNetwork::arbitrate(Message msg, Tick post_time)
     const Tick earliest_data = notif_done + colProp_ + switchSetup_;
 
     DataChannel &ch = channels_[channelIndex(msg.src, msg.dst)];
-    const OpticalChannel probe(channelLambdas_, 0);
+    const OpticalChannel probe(
+        ch.maskedLambdas ? ch.maskedLambdas : channelLambdas_, 0);
     const Tick ser = probe.serialization(msg.bytes);
     const bool sender_change = ch.lastSender != msg.src;
     ch.lastSender = msg.src;

@@ -101,6 +101,16 @@ class TwoPhaseArbitratedNetwork : public Network
     /** Data slots that were granted but unusable (tree busy). */
     std::uint64_t wastedSlots() const { return wastedSlots_; }
 
+    /**
+     * Fault granularity: the 512 shared data channels, keyed
+     * (arbitration-domain row, destination site) — the first element
+     * is a row index, not a site id.
+     */
+    std::vector<std::pair<SiteId, SiteId>> faultableLinks() const override;
+
+    bool applyLinkHealth(SiteId a, SiteId b,
+                         const LinkHealth &health) override;
+
   protected:
     void route(Message msg) override;
 
@@ -109,6 +119,9 @@ class TwoPhaseArbitratedNetwork : public Network
     {
         BusyResource line;
         SiteId lastSender = ~SiteId(0);
+        bool down = false;          ///< Shared channel unusable.
+        /** Masked channel width; 0 means the full width. */
+        std::uint32_t maskedLambdas = 0;
     };
 
     /** Index of the shared channel (row of src, destination). */

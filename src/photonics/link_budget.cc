@@ -6,7 +6,7 @@ namespace macrosim
 Decibel
 OpticalPath::totalLoss() const
 {
-    Decibel total{0.0};
+    Decibel total = extraLoss_;
     for (const auto &e : elements_)
         total += properties(e.component).insertionLoss * e.count;
     return total;

@@ -61,7 +61,26 @@ class OpticalPath
 
     const std::vector<PathElement> &elements() const { return elements_; }
 
-    /** Total insertion loss along the path. */
+    /**
+     * A copy of this path carrying @p extra decibels of added loss on
+     * top of its components — the shared arithmetic behind fault
+     * modelling (thermal ring drift, waveguide loss creep): the fault
+     * subsystem and its tests both derate through this one helper, so
+     * the section 2 "17 dB un-switched loss, 4 dB margin" numbers stay
+     * pinned in a single place.
+     */
+    OpticalPath
+    deratedPath(Decibel extra) const
+    {
+        OpticalPath p = *this;
+        p.extraLoss_ += extra;
+        return p;
+    }
+
+    /** Added (fault) loss this path carries beyond its components. */
+    Decibel extraLoss() const { return extraLoss_; }
+
+    /** Total insertion loss along the path, added loss included. */
     Decibel totalLoss() const;
 
     /** Received power for a given launch power. */
@@ -102,6 +121,7 @@ class OpticalPath
 
   private:
     std::vector<PathElement> elements_;
+    Decibel extraLoss_{0.0};
 };
 
 /**

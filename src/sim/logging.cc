@@ -8,26 +8,27 @@ namespace macrosim
 
 namespace
 {
-bool quietFlag = false;
-std::uint64_t warnCount = 0;
+// Atomic: sweep worker threads warn concurrently.
+std::atomic<bool> quietFlag{false};
+std::atomic<std::uint64_t> warnCount{0};
 } // namespace
 
 void
 setQuiet(bool q)
 {
-    quietFlag = q;
+    quietFlag.store(q, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 std::uint64_t
 warningsIssued()
 {
-    return warnCount;
+    return warnCount.load(std::memory_order_relaxed);
 }
 
 namespace detail
@@ -49,15 +50,15 @@ fatalImpl(const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    ++warnCount;
-    if (!quietFlag)
+    warnCount.fetch_add(1, std::memory_order_relaxed);
+    if (!quiet())
         std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quietFlag)
+    if (!quiet())
         std::cerr << "info: " << msg << std::endl;
 }
 

@@ -15,6 +15,7 @@
 #ifndef MACROSIM_SIM_LOGGING_HH
 #define MACROSIM_SIM_LOGGING_HH
 
+#include <atomic>
 #include <cstdint>
 #include <sstream>
 #include <stdexcept>
@@ -102,13 +103,14 @@ std::uint64_t warningsIssued();
  * Emit a warning at most once per call site (gem5's warn_once). The
  * latch is a function-local static, so the condition may sit inside
  * a hot loop or a per-simulation constructor without flooding
- * stderr across a parameter sweep.
+ * stderr across a parameter sweep. Atomic: sweep worker threads may
+ * trip the same call site concurrently.
  */
 #define warn_once(...)                                                 \
     do {                                                               \
-        static bool macrosim_warned_once_ = false;                     \
-        if (!macrosim_warned_once_) {                                  \
-            macrosim_warned_once_ = true;                              \
+        static std::atomic<bool> macrosim_warned_once_{false};         \
+        if (!macrosim_warned_once_.exchange(                           \
+                true, std::memory_order_relaxed)) {                    \
             ::macrosim::warn(__VA_ARGS__);                             \
         }                                                              \
     } while (0)

@@ -1,5 +1,7 @@
 #include "workloads/coherence.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace macrosim
@@ -61,6 +63,15 @@ CoherenceEngine::registerTelemetry()
     });
     arch.add("txn.coalesced", [this] {
         return static_cast<double>(coalesced_);
+    });
+    arch.add("txn.retries", [this] {
+        return static_cast<double>(txnRetries_);
+    });
+    arch.add("txn.aborted", [this] {
+        return static_cast<double>(aborted_);
+    });
+    arch.add("txn.stale_acks", [this] {
+        return static_cast<double>(staleAcks_);
     });
     arch.addMean("txn.latency_ns", opLatency_);
     if (!directoryMode_)
@@ -127,14 +138,115 @@ CoherenceEngine::startSynthetic(SiteId requester, SiteId home,
     txn.start = sim_.now();
     txn.done = std::move(done);
     const TxnId id = txn.id;
-    txns_.emplace(id, std::move(txn));
+    auto it = txns_.emplace(id, std::move(txn)).first;
     ++started_;
 
-    const std::uint32_t req_bytes =
-        (op == CoherenceOp::PutM) ? dataMessageBytes
-                                  : controlMessageBytes;
-    send(requester, home, CoherenceMsg::Request, req_bytes, id);
+    sendRequest(it->second);
+    armTimeout(it->second);
     return id;
+}
+
+void
+CoherenceEngine::sendRequest(const Txn &txn)
+{
+    const std::uint32_t req_bytes =
+        (txn.op == CoherenceOp::PutM) ? dataMessageBytes
+                                      : controlMessageBytes;
+    send(txn.requester, txn.home, CoherenceMsg::Request, req_bytes,
+         txn.id);
+}
+
+void
+CoherenceEngine::armTimeout(Txn &txn)
+{
+    if (!resilience_.enabled || resilience_.timeout == 0)
+        return;
+    const Tick wait = resilience_.timeout << txn.attempts;
+    const TxnId id = txn.id;
+    txn.retryEvent = sim_.events().scheduleAfter(
+        wait, [this, id] { onTimeout(id); }, "arch.txn_timeout");
+}
+
+void
+CoherenceEngine::onTimeout(TxnId id)
+{
+    auto it = txns_.find(id);
+    if (it == txns_.end())
+        return;
+    Txn &txn = it->second;
+    txn.retryEvent = invalidEventId;
+    if (txn.attempts >= resilience_.maxRetries) {
+        abortTxn(txn);
+        return;
+    }
+    // Reset to pre-expansion state and re-issue the request. The
+    // home re-expands it (its line lock recognises the holder's own
+    // retry); responses already in flight from the slow first
+    // attempt are tolerated as stale.
+    ++txn.attempts;
+    ++txnRetries_;
+    txn.expanded = false;
+    txn.dataReceived = false;
+    txn.pendingAcks = 0;
+    sendRequest(txn);
+    armTimeout(txn);
+}
+
+void
+CoherenceEngine::abortTxn(Txn &txn)
+{
+    ++aborted_;
+    const Tick latency = sim_.now() - txn.start;
+    CompletionFn done = std::move(txn.done);
+    std::vector<CompletionFn> coalesced = std::move(txn.coalescedDone);
+    const TxnId id = txn.id;
+    const Addr line = txn.line;
+    const SiteId requester = txn.requester;
+    txns_.erase(id);
+
+    if (directoryMode_) {
+        const std::uint64_t key = outstandingKey(requester, line);
+        if (auto out = outstanding_.find(key);
+            out != outstanding_.end() && out->second == id) {
+            outstanding_.erase(out);
+        }
+        releaseLineLock(line, id);
+    }
+
+    // Completion callbacks still fire so closed-loop drivers drain;
+    // the abort is visible through abortedTransactions() and the
+    // "arch.txn.aborted" stat rather than a hang.
+    if (done)
+        done(id, latency);
+    for (CompletionFn &fn : coalesced) {
+        if (fn)
+            fn(id, latency);
+    }
+}
+
+void
+CoherenceEngine::releaseLineLock(Addr line, TxnId id)
+{
+    auto it = lineLocks_.find(line);
+    if (it == lineLocks_.end())
+        return;
+    LineLock &lock = it->second;
+    if (lock.holder != id) {
+        // Aborted while still queued behind another holder.
+        auto w = std::find(lock.waiters.begin(), lock.waiters.end(),
+                           id);
+        if (w != lock.waiters.end())
+            lock.waiters.erase(w);
+        return;
+    }
+    if (lock.waiters.empty()) {
+        lineLocks_.erase(it);
+    } else {
+        const TxnId next = lock.waiters.front();
+        lock.waiters.pop_front();
+        lock.holder = next;
+        scheduleExpansion(next);
+    }
 }
 
 std::optional<TxnId>
@@ -200,12 +312,12 @@ CoherenceEngine::startAccess(SiteId site, Addr addr, MemOp op,
     txn.start = sim_.now();
     txn.done = std::move(done);
     const TxnId id = txn.id;
-    const SiteId home = txn.home;
-    txns_.emplace(id, std::move(txn));
+    auto it = txns_.emplace(id, std::move(txn)).first;
     ++started_;
     outstanding_[key] = id;
 
-    send(site, home, CoherenceMsg::Request, controlMessageBytes, id);
+    sendRequest(it->second);
+    armTimeout(it->second);
     return id;
 }
 
@@ -268,10 +380,18 @@ CoherenceEngine::onRequestAtHome(const Message &msg)
             return;
         const Addr line = it->second.line;
         auto [lock_it, inserted] = lineLocks_.try_emplace(line);
-        if (!inserted) {
-            lock_it->second.push_back(msg.txn);
+        if (inserted) {
+            lock_it->second.holder = msg.txn;
+        } else if (lock_it->second.holder != msg.txn) {
+            // Queue behind the current holder — once per txn, so a
+            // retried duplicate of a waiter doesn't enqueue twice.
+            auto &w = lock_it->second.waiters;
+            if (std::find(w.begin(), w.end(), msg.txn) == w.end())
+                w.push_back(msg.txn);
             return;
         }
+        // The holder's own re-sent request (a resilience retry)
+        // falls through to re-expansion.
     }
     scheduleExpansion(msg.txn);
 }
@@ -532,9 +652,16 @@ CoherenceEngine::onAckAtRequester(const Message &msg)
             l2s_[txn.requester]->setState(txn.line,
                                           CacheState::Modified);
     } else {
-        if (txn.pendingAcks == 0)
+        if (txn.pendingAcks == 0) {
+            if (resilience_.enabled) {
+                // A retry reset the ack count while this ack was in
+                // flight from the slow first attempt; tolerate it.
+                ++staleAcks_;
+                return;
+            }
             panic("CoherenceEngine: unexpected InvAck for txn ",
                   txn.id);
+        }
         --txn.pendingAcks;
     }
     maybeComplete(txn);
@@ -553,6 +680,10 @@ CoherenceEngine::maybeComplete(Txn &txn)
     const Tick latency = sim_.now() - txn.start;
     opLatency_.sample(ticksToNs(latency));
     ++completed_;
+    if (txn.retryEvent != invalidEventId) {
+        sim_.events().cancel(txn.retryEvent);
+        txn.retryEvent = invalidEventId;
+    }
     CompletionFn done = std::move(txn.done);
     std::vector<CompletionFn> coalesced =
         std::move(txn.coalescedDone);
@@ -569,21 +700,10 @@ CoherenceEngine::maybeComplete(Txn &txn)
             it != outstanding_.end() && it->second == id) {
             outstanding_.erase(it);
         }
-    }
 
-    if (directoryMode_) {
         // Release the home's line lock; admit the next waiting
         // transaction on this line, if any.
-        auto it = lineLocks_.find(line);
-        if (it != lineLocks_.end()) {
-            if (it->second.empty()) {
-                lineLocks_.erase(it);
-            } else {
-                const TxnId next = it->second.front();
-                it->second.pop_front();
-                scheduleExpansion(next);
-            }
-        }
+        releaseLineLock(line, id);
     }
 
     if (done)
@@ -611,10 +731,10 @@ CoherenceEngine::installLine(SiteId site, Addr line, CacheState state)
         txn.needsData = false;
         txn.start = sim_.now();
         const TxnId id = txn.id;
-        const SiteId home = txn.home;
-        txns_.emplace(id, std::move(txn));
+        auto it = txns_.emplace(id, std::move(txn)).first;
         ++started_;
-        send(site, home, CoherenceMsg::Request, dataMessageBytes, id);
+        sendRequest(it->second);
+        armTimeout(it->second);
     }
 }
 

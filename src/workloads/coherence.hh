@@ -77,6 +77,26 @@ struct SharerMix
     }
 };
 
+/**
+ * Opt-in protocol resilience: per-transaction timeout with bounded
+ * retry and exponential backoff. Disabled by default — with it off
+ * the engine schedules no timeout events and behaves bit-identically
+ * to the pre-fault-model protocol. A retry resets the transaction
+ * and re-issues its request (the directory re-expands it; duplicate
+ * responses from a slow first attempt are tolerated and counted);
+ * after maxRetries the transaction aborts: a counted, non-fatal
+ * failure whose completion callbacks still fire so closed-loop
+ * drivers keep draining.
+ */
+struct CoherenceResilience
+{
+    bool enabled = false;
+    /** Base timeout; attempt n waits timeout << n. */
+    Tick timeout = 0;
+    /** Retries before the transaction aborts. */
+    std::uint32_t maxRetries = 3;
+};
+
 class CoherenceEngine
 {
   public:
@@ -116,6 +136,19 @@ class CoherenceEngine
     std::optional<TxnId> startAccess(SiteId site, Addr addr, MemOp op,
                                      CompletionFn done);
 
+    /** Enable timeout/retry; call before starting transactions. */
+    void setResilience(const CoherenceResilience &r) { resilience_ = r; }
+    const CoherenceResilience &resilience() const { return resilience_; }
+
+    /** Transactions re-issued after a timeout. */
+    std::uint64_t retriedTransactions() const { return txnRetries_; }
+
+    /** Transactions abandoned after exhausting their retries. */
+    std::uint64_t abortedTransactions() const { return aborted_; }
+
+    /** Duplicate/stale acknowledgments tolerated under resilience. */
+    std::uint64_t staleAcks() const { return staleAcks_; }
+
     /** Accesses absorbed by an outstanding same-line MSHR. */
     std::uint64_t coalescedAccesses() const { return coalesced_; }
 
@@ -126,11 +159,11 @@ class CoherenceEngine
     std::uint64_t transactionsCompleted() const { return completed_; }
     std::uint64_t messagesSent() const { return messagesSent_; }
 
-    /** Outstanding (incomplete) transactions. */
+    /** Outstanding (incomplete, non-aborted) transactions. */
     std::uint64_t
     inFlight() const
     {
-        return started_ - completed_;
+        return started_ - completed_ - aborted_;
     }
 
     /** Directory-mode L2 of one site (for tests). */
@@ -166,6 +199,9 @@ class CoherenceEngine
         CompletionFn done;
         /** Callbacks of coalesced same-line accesses. */
         std::vector<CompletionFn> coalescedDone;
+        /** Resilience bookkeeping (unused when disabled). */
+        std::uint32_t attempts = 0;
+        EventId retryEvent = invalidEventId;
     };
 
     /** Register "arch.*" stats in the simulator's registry. */
@@ -182,6 +218,19 @@ class CoherenceEngine
     void onDataAtRequester(const Message &msg);
     void onAckAtRequester(const Message &msg);
     void maybeComplete(Txn &txn);
+
+    /** (Re)arm the transaction's timeout under the backoff policy. */
+    void armTimeout(Txn &txn);
+    /** The timeout fired: retry the request, or abort. */
+    void onTimeout(TxnId id);
+    /** Abandon the transaction: counted, callbacks still fire. */
+    void abortTxn(Txn &txn);
+    /** Release the home's line lock held by @p id (directory mode),
+     *  admitting the next waiter, or dequeue @p id if only waiting. */
+    void releaseLineLock(Addr line, TxnId id);
+    /** The request message re-sent on the first and every retried
+     *  attempt. */
+    void sendRequest(const Txn &txn);
 
     void send(SiteId src, SiteId dst, CoherenceMsg type,
               std::uint32_t bytes, TxnId txn);
@@ -208,12 +257,17 @@ class CoherenceEngine
     /** memoryPorts_ BusyResources per site, flattened. */
     std::vector<BusyResource> memoryChannels_;
 
+    CoherenceResilience resilience_;
+
     TxnId nextTxn_ = 1;
     std::uint64_t started_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t messagesSent_ = 0;
     std::uint64_t writebacks_ = 0;
     std::uint64_t coalesced_ = 0;
+    std::uint64_t txnRetries_ = 0;
+    std::uint64_t aborted_ = 0;
+    std::uint64_t staleAcks_ = 0;
     Accumulator opLatency_;
     std::unordered_map<TxnId, Txn> txns_;
 
@@ -224,11 +278,18 @@ class CoherenceEngine
     /**
      * Home-side per-line serialization: a real directory blocks (or
      * NACKs) requests for a line with an outstanding transaction.
-     * The queue holds transactions waiting for the line's current
-     * transaction to complete; absence from the map means the line
-     * is idle.
+     * The holder is the transaction currently being serviced — its
+     * own re-sent request (a resilience retry) passes straight back
+     * to expansion instead of deadlocking behind itself; the queue
+     * holds transactions waiting for the holder to finish. Absence
+     * from the map means the line is idle.
      */
-    std::unordered_map<Addr, std::deque<TxnId>> lineLocks_;
+    struct LineLock
+    {
+        TxnId holder = 0;
+        std::deque<TxnId> waiters;
+    };
+    std::unordered_map<Addr, LineLock> lineLocks_;
 
     /**
      * Requester-side MSHR coalescing: (site, line) -> the most

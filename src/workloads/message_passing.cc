@@ -35,6 +35,11 @@ MessagePassingSystem::MessagePassingSystem(Simulator &sim,
             onDelivery(m);
         });
     }
+    if (spec_.tolerateLoss) {
+        net_.setDropHandler([this](const Message &m) {
+            onDrop(m);
+        });
+    }
 }
 
 std::vector<SiteId>
@@ -79,6 +84,8 @@ MessagePassingSystem::run()
     res.iterations = spec_.iterations;
     res.runtime = sim_.now();
     res.messages = messages_;
+    res.lost = lost_;
+    res.stragglers = stragglers_;
     return res;
 }
 
@@ -165,10 +172,16 @@ MessagePassingSystem::onDelivery(const Message &msg)
         const auto iter = static_cast<std::uint32_t>(msg.cookie >> 8);
         const auto round = static_cast<std::uint32_t>(msg.cookie
                                                       & 0xff);
-        if (iter != iteration_)
+        if (iter != iteration_) {
+            if (spec_.tolerateLoss) {
+                // A retried packet outlived its iteration.
+                ++stragglers_;
+                return;
+            }
             panic("MessagePassingSystem: all-reduce message from "
                   "iteration ", iter, " during iteration ",
                   iteration_);
+        }
         ++r.banked[round];
         // Only a message for the rank's *current* round unblocks it.
         if (round != r.round || r.banked[r.round] == 0)
@@ -180,17 +193,42 @@ MessagePassingSystem::onDelivery(const Message &msg)
     }
 
     if (msg.cookie != iteration_) {
+        if (spec_.tolerateLoss) {
+            ++stragglers_;
+            return;
+        }
         // A straggler from a previous iteration can only occur if the
         // barrier logic is broken.
         panic("MessagePassingSystem: message from iteration ",
               msg.cookie, " delivered during iteration ", iteration_);
     }
-    if (r.pendingRecvs == 0)
+    if (r.pendingRecvs == 0) {
+        if (spec_.tolerateLoss) {
+            // Both the drop accounting and a late real delivery can
+            // land; the second is excess.
+            ++stragglers_;
+            return;
+        }
         panic("MessagePassingSystem: unexpected message at rank ",
               msg.dst);
+    }
     if (--r.pendingRecvs > 0)
         return;
     rankFinished(msg.dst);
+}
+
+void
+MessagePassingSystem::onDrop(const Message &msg)
+{
+    // Excuse the lost message from the destination's barrier
+    // accounting, as if it had been (emptily) received. Deferred to
+    // the end of the current tick: drops surface synchronously from
+    // inject(), possibly before every rank's comm phase has been
+    // prepared at this barrier.
+    ++lost_;
+    sim_.events().scheduleAfter(0, [this, msg] {
+        onDelivery(msg);
+    }, "workload.mpi_drop");
 }
 
 void

@@ -53,6 +53,14 @@ struct MpiWorkloadSpec
     /** Compute time per rank per iteration. */
     Tick computeTime = 200 * tickNs;
     std::uint32_t iterations = 10;
+    /**
+     * Survive message loss under fault injection: dropped messages
+     * are counted and excused from barrier accounting (the iteration
+     * completes with a hole in the data), and straggler deliveries
+     * from retried packets are tolerated instead of fatal. Off by
+     * default — the strict barrier then treats any anomaly as a bug.
+     */
+    bool tolerateLoss = false;
 };
 
 struct MpiResult
@@ -62,6 +70,10 @@ struct MpiResult
     std::uint32_t iterations = 0;
     Tick runtime = 0;
     std::uint64_t messages = 0;
+    /** Messages abandoned by the network (tolerateLoss mode). */
+    std::uint64_t lost = 0;
+    /** Late/stale deliveries tolerated (tolerateLoss mode). */
+    std::uint64_t stragglers = 0;
 
     double
     nsPerIteration() const
@@ -106,6 +118,9 @@ class MessagePassingSystem
     void startIteration();
     void startCommPhase(SiteId rank);
     void onDelivery(const Message &msg);
+    /** Network drop handler (tolerateLoss): excuse the message from
+     *  the barrier so the iteration still completes. */
+    void onDrop(const Message &msg);
     void rankFinished(SiteId rank);
 
     /** Kick off one all-reduce round's exchange for @p rank. */
@@ -120,6 +135,8 @@ class MessagePassingSystem
     std::uint32_t iteration_ = 0;
     std::uint32_t finishedRanks_ = 0;
     std::uint64_t messages_ = 0;
+    std::uint64_t lost_ = 0;
+    std::uint64_t stragglers_ = 0;
     std::vector<Rank> ranks_;
 };
 

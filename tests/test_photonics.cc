@@ -86,6 +86,27 @@ TEST(LinkBudget, LinkFailsBelowSensitivity)
     EXPECT_TRUE(p.closes(PowerDbm(1.0)));
 }
 
+TEST(LinkBudget, DeratedPathErodesThe4dBMargin)
+{
+    // The fault model's arithmetic: added loss on top of the section 2
+    // canonical link (17 dB loss, 4 dB margin) comes straight off the
+    // margin, and the original path is untouched.
+    const OpticalPath link = canonicalUnswitchedLink();
+    const OpticalPath mild = link.deratedPath(Decibel(3.0));
+    EXPECT_NEAR(mild.totalLoss().value(), 20.0, 1e-9);
+    EXPECT_NEAR(mild.margin().value(), 1.0, 1e-9);
+    EXPECT_TRUE(mild.closes());
+
+    const OpticalPath dead = link.deratedPath(Decibel(5.0));
+    EXPECT_NEAR(dead.margin().value(), -1.0, 1e-9);
+    EXPECT_FALSE(dead.closes());
+
+    // Derates stack, and the source path keeps its full margin.
+    EXPECT_NEAR(mild.deratedPath(Decibel(2.0)).extraLoss().value(),
+                5.0, 1e-9);
+    EXPECT_NEAR(link.margin().value(), 4.0, 1e-9);
+}
+
 TEST(LinkBudget, WaveguideLossScalesWithLength)
 {
     OpticalPath p;

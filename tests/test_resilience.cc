@@ -160,4 +160,95 @@ TEST(Resilience, FailingAnInvalidSiteIsAnError)
     EXPECT_THROW(net.failSiteRouters(64), FatalError);
 }
 
+TEST(Resilience, BothForwardersDeadDropsWhenHandlerInstalled)
+{
+    // The same double failure that is fatal by default becomes a
+    // counted, surfaced drop once a drop handler opts the workload
+    // into loss tolerance.
+    Simulator sim;
+    LimitedPointToPointNetwork net(sim, simulatedConfig());
+    net.failSiteRouters(1); // (0,1): primary for 0 -> 9
+    net.failSiteRouters(8); // (1,0): alternate for 0 -> 9
+    int dropped = 0;
+    Message last;
+    net.setDropHandler([&](const Message &m) {
+        ++dropped;
+        last = m;
+    });
+    int delivered = 0;
+    net.setDefaultHandler([&](const Message &) { ++delivered; });
+    Message m;
+    m.src = 0;
+    m.dst = 9;
+    EXPECT_NO_THROW(net.inject(m));
+    sim.run();
+    EXPECT_EQ(dropped, 1);
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(last.src, 0u);
+    EXPECT_EQ(last.dst, 9u);
+    EXPECT_EQ(net.droppedPackets(), 1u);
+    EXPECT_EQ(net.retriedPackets(), 0u);
+}
+
+TEST(Resilience, RetryExhaustionIsACountedNonFatalDrop)
+{
+    // With a retry policy the packet backs off and re-attempts the
+    // route; against a permanently dead forwarder pair it burns every
+    // attempt, then surfaces as one drop (not one per attempt).
+    Simulator sim;
+    LimitedPointToPointNetwork net(sim, simulatedConfig());
+    net.failSiteRouters(1);
+    net.failSiteRouters(8);
+    RetryPolicy retry;
+    retry.backoffBase = 10 * tickNs;
+    retry.maxAttempts = 4;
+    net.setRetryPolicy(retry);
+    int dropped = 0;
+    net.setDropHandler([&](const Message &) { ++dropped; });
+    Message m;
+    m.src = 0;
+    m.dst = 9;
+    net.inject(m);
+    sim.run();
+    EXPECT_EQ(dropped, 1);
+    EXPECT_EQ(net.droppedPackets(), 1u);
+    // maxAttempts = 4 total attempts: the first plus three retries.
+    EXPECT_EQ(net.retriedPackets(), 3u);
+    // Exponential backoff: 10 + 20 + 40 ns of re-queueing delay
+    // elapsed before the final attempt gave up.
+    EXPECT_GE(sim.now(), 70 * tickNs);
+}
+
+TEST(Resilience, RetryDeliversAfterRepair)
+{
+    // A packet caught by a dead router pair survives if the routers
+    // come back before its retries are exhausted.
+    Simulator sim;
+    LimitedPointToPointNetwork net(sim, simulatedConfig());
+    net.applySiteHealth(1, true);
+    net.applySiteHealth(8, true);
+    RetryPolicy retry;
+    retry.backoffBase = 100 * tickNs;
+    retry.maxAttempts = 4;
+    net.setRetryPolicy(retry);
+    int delivered = 0;
+    net.setDefaultHandler([&](const Message &) { ++delivered; });
+    int dropped = 0;
+    net.setDropHandler([&](const Message &) { ++dropped; });
+    // Repair the primary forwarder between the first and second
+    // routing attempt.
+    sim.events().schedule(50 * tickNs, [&net] {
+        net.applySiteHealth(1, false);
+    }, "test.repair");
+    Message m;
+    m.src = 0;
+    m.dst = 9;
+    net.inject(m);
+    sim.run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(dropped, 0);
+    EXPECT_EQ(net.retriedPackets(), 1u);
+    EXPECT_EQ(net.droppedPackets(), 0u);
+}
+
 } // namespace
