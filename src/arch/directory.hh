@@ -13,12 +13,12 @@
 #define MACROSIM_ARCH_DIRECTORY_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/cache.hh"
 #include "arch/geometry.hh"
 #include "arch/protocol.hh"
+#include "sim/flat_map.hh"
 
 namespace macrosim
 {
@@ -89,6 +89,24 @@ class Directory
     /** Look up (or create Uncached) entry for a line address. */
     DirEntry &entry(Addr line_addr) { return entries_[line_addr]; }
 
+    /**
+     * Drop the entry for @p line_addr if it has decayed back to
+     * Uncached with no sharers — the state an untracked line decodes
+     * to anyway, so reclaiming is invisible to the protocol. Without
+     * this, a writeback leaves a dead Uncached entry behind forever
+     * and the slice grows with every line ever touched.
+     */
+    void
+    reclaim(Addr line_addr)
+    {
+        auto it = entries_.find(line_addr);
+        if (it != entries_.end()
+            && it->second.state == DirState::Uncached
+            && it->second.sharers.empty()) {
+            entries_.erase(it);
+        }
+    }
+
     /** Read-only probe; returns Uncached default if absent. */
     DirEntry
     probe(Addr line_addr) const
@@ -111,7 +129,7 @@ class Directory
 
   private:
     std::uint32_t siteCount_;
-    std::unordered_map<Addr, DirEntry> entries_;
+    FlatMap<Addr, DirEntry> entries_;
 };
 
 } // namespace macrosim

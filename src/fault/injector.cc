@@ -50,8 +50,10 @@ FaultInjector::arm()
     if (armed_)
         panic("FaultInjector::arm: already armed");
     armed_ = true;
-    for (const FaultEvent &ev : schedule_.ordered()) {
-        sim_.events().schedule(ev.at, [this, ev] { apply(ev); },
+    armedEvents_ = schedule_.ordered();
+    for (std::size_t i = 0; i < armedEvents_.size(); ++i) {
+        sim_.events().schedule(armedEvents_[i].at,
+                               [this, i] { apply(armedEvents_[i]); },
                                "fault.inject");
     }
 }

@@ -97,6 +97,9 @@ class FaultInjector
     Simulator &sim_;
     Network &net_;
     FaultSchedule schedule_;
+    /** The armed timeline, pinned so the injection events capture
+     *  just [this, index] instead of a FaultEvent by value. */
+    std::vector<FaultEvent> armedEvents_;
     FaultModelParams params_;
     TraceSink *trace_;
     std::uint32_t tracePid_;

@@ -66,10 +66,28 @@ CircuitSwitchedTorus::registerStats(StatRegistry &registry,
 std::vector<SiteId>
 CircuitSwitchedTorus::torusPath(SiteId src, SiteId dst) const
 {
-    // Dimension-ordered (X then Y) routing with minimal wraparound
-    // direction in each dimension; returns intermediate switch
-    // points, excluding both endpoints.
     std::vector<SiteId> path;
+    torusPathInto(src, dst, path);
+    return path;
+}
+
+std::vector<SiteId>
+CircuitSwitchedTorus::torusPathYX(SiteId src, SiteId dst) const
+{
+    std::vector<SiteId> path;
+    torusPathYXInto(src, dst, path);
+    return path;
+}
+
+void
+CircuitSwitchedTorus::torusPathInto(SiteId src, SiteId dst,
+                                    std::vector<SiteId> &path) const
+{
+    // Dimension-ordered (X then Y) routing with minimal wraparound
+    // direction in each dimension; yields intermediate switch
+    // points, excluding both endpoints. Appends into @p path so a
+    // pooled vector's capacity is reused circuit after circuit.
+    path.clear();
     SiteCoord cur = geometry().coordOf(src);
     const SiteCoord goal = geometry().coordOf(dst);
     const std::uint32_t n_cols = geometry().cols();
@@ -93,16 +111,16 @@ CircuitSwitchedTorus::torusPath(SiteId src, SiteId dst) const
         if (cur.row != goal.row)
             path.push_back(geometry().idOf(cur));
     }
-    return path;
 }
 
-std::vector<SiteId>
-CircuitSwitchedTorus::torusPathYX(SiteId src, SiteId dst) const
+void
+CircuitSwitchedTorus::torusPathYXInto(SiteId src, SiteId dst,
+                                      std::vector<SiteId> &path) const
 {
     // Same minimal-wraparound walk, dimensions in the other order (Y
     // then X) — the alternate route when the XY path crosses a dead
     // switch site.
-    std::vector<SiteId> path;
+    path.clear();
     SiteCoord cur = geometry().coordOf(src);
     const SiteCoord goal = geometry().coordOf(dst);
     const std::uint32_t n_cols = geometry().cols();
@@ -126,7 +144,32 @@ CircuitSwitchedTorus::torusPathYX(SiteId src, SiteId dst) const
         if (cur.col != goal.col)
             path.push_back(geometry().idOf(cur));
     }
-    return path;
+}
+
+std::uint32_t
+CircuitSwitchedTorus::allocSetup(Message &&msg)
+{
+    std::uint32_t idx;
+    if (!setupFree_.empty()) {
+        idx = setupFree_.back();
+        setupFree_.pop_back();
+    } else {
+        idx = static_cast<std::uint32_t>(setupPool_.size());
+        setupPool_.emplace_back();
+    }
+    PendingSetup &ps = setupPool_[idx];
+    ps.msg = std::move(msg);
+    ps.hopIdx = 0;
+    return idx;
+}
+
+void
+CircuitSwitchedTorus::freeSetup(std::uint32_t idx)
+{
+    PendingSetup &ps = setupPool_[idx];
+    ps.path.clear(); // keeps capacity for the next circuit
+    ps.hopIdx = 0;
+    setupFree_.push_back(idx);
 }
 
 bool
@@ -165,11 +208,15 @@ CircuitSwitchedTorus::dispatch(SiteId site)
         // gateway: the XY route, or the YX alternate when the XY
         // walk would program a dead switch site. With both routes
         // blocked the pair is unreachable this attempt.
-        std::vector<SiteId> path = torusPath(msg.src, msg.dst);
-        if (pathBlocked(path)) {
-            path = torusPathYX(msg.src, msg.dst);
-            if (pathBlocked(path)) {
-                dropPacket(std::move(msg),
+        const std::uint32_t su = allocSetup(std::move(msg));
+        PendingSetup &ps = setupPool_[su];
+        torusPathInto(ps.msg.src, ps.msg.dst, ps.path);
+        if (pathBlocked(ps.path)) {
+            torusPathYXInto(ps.msg.src, ps.msg.dst, ps.path);
+            if (pathBlocked(ps.path)) {
+                Message doomed = std::move(ps.msg);
+                freeSetup(su);
+                dropPacket(std::move(doomed),
                            "both torus paths cross dead switch sites");
                 continue;
             }
@@ -183,43 +230,41 @@ CircuitSwitchedTorus::dispatch(SiteId site)
         const Tick depart =
             ctrlRouters_[site].reserve(now(), ctrlSerialization_)
             + ctrlSerialization_;
-        sim().events().schedule(
-            depart + hopPropagation_,
-            [this, msg = std::move(msg),
-             path = std::move(path)]() mutable {
-                setupHop(std::move(msg), std::move(path), 0);
-            },
-            "net.cswitch.setup");
+        sim().events().schedule(depart + hopPropagation_,
+                                [this, su] { setupHop(su); },
+                                "net.cswitch.setup");
     }
 }
 
 void
-CircuitSwitchedTorus::setupHop(Message msg, std::vector<SiteId> path,
-                               std::size_t hop_idx)
+CircuitSwitchedTorus::setupHop(std::uint32_t setup_idx)
 {
-    if (hop_idx >= path.size()) {
-        establish(std::move(msg), path.size());
+    PendingSetup &ps = setupPool_[setup_idx];
+    if (ps.hopIdx >= ps.path.size()) {
+        establish(setup_idx);
         return;
     }
     // Store-and-forward at this switch point: queue for the site's
     // serial control router, re-serialize, program the 4x4 switch,
     // fly onward.
-    const SiteId via = path[hop_idx];
+    const SiteId via = ps.path[ps.hopIdx];
+    ++ps.hopIdx;
     const Tick depart =
         ctrlRouters_[via].reserve(now(), ctrlSerialization_)
         + ctrlSerialization_ + ctrlRouterDelay_;
-    sim().events().schedule(
-        depart + hopPropagation_,
-        [this, msg = std::move(msg), path = std::move(path),
-         hop_idx]() mutable {
-            setupHop(std::move(msg), std::move(path), hop_idx + 1);
-        },
-        "net.cswitch.setup");
+    sim().events().schedule(depart + hopPropagation_,
+                            [this, setup_idx] { setupHop(setup_idx); },
+                            "net.cswitch.setup");
 }
 
 void
-CircuitSwitchedTorus::establish(Message msg, std::size_t path_hops)
+CircuitSwitchedTorus::establish(std::uint32_t setup_idx)
 {
+    PendingSetup &ps = setupPool_[setup_idx];
+    const std::size_t path_hops = ps.path.size();
+    Message msg = std::move(ps.msg);
+    freeSetup(setup_idx);
+
     // The acknowledgment flies back over the now-configured circuit:
     // pure propagation plus one cycle at each end.
     const Tick path_flight =

@@ -86,12 +86,37 @@ class CircuitSwitchedTorus : public Network
     /** Dispatch queued circuits onto free gateways of @p site. */
     void dispatch(SiteId site);
 
-    /** Continue a setup walk: the packet just reached @p hop_idx. */
-    void setupHop(Message msg, std::vector<SiteId> path,
-                  std::size_t hop_idx);
+    /**
+     * An in-flight circuit setup. Pooled (free-listed) so the hop
+     * events capture just [this, index] — a Message plus a path
+     * vector would blow the InlineCallback budget — and so the path
+     * vector's capacity is recycled across circuits: steady-state
+     * setup walks allocate nothing.
+     */
+    struct PendingSetup
+    {
+        Message msg{};
+        std::vector<SiteId> path;
+        std::size_t hopIdx = 0;
+    };
 
-    /** Setup reached the destination: ack, stream data, tear down. */
-    void establish(Message msg, std::size_t path_hops);
+    /** Pool a setup record for @p msg (path left empty). */
+    std::uint32_t allocSetup(Message &&msg);
+    void freeSetup(std::uint32_t idx);
+
+    /** Append the XY / YX route to @p path (cleared first). */
+    void torusPathInto(SiteId src, SiteId dst,
+                       std::vector<SiteId> &path) const;
+    void torusPathYXInto(SiteId src, SiteId dst,
+                         std::vector<SiteId> &path) const;
+
+    /** Continue setup @p setup_idx: the packet just reached its
+     *  current hop (establishes once the path is exhausted). */
+    void setupHop(std::uint32_t setup_idx);
+
+    /** Setup reached the destination: ack, stream data, tear down,
+     *  and retire the pooled record. */
+    void establish(std::uint32_t setup_idx);
 
     std::uint32_t gatewaysPerSite_;
     std::uint32_t circuitLambdas_;
@@ -111,6 +136,11 @@ class CircuitSwitchedTorus : public Network
     std::vector<std::deque<Message>> waiting_;
     /** Per-site serial control router. */
     std::vector<BusyResource> ctrlRouters_;
+
+    /** In-flight setup records (deque: stable across pool growth)
+     *  plus their free list. */
+    std::deque<PendingSetup> setupPool_;
+    std::vector<std::uint32_t> setupFree_;
 };
 
 } // namespace macrosim

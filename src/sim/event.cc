@@ -196,11 +196,33 @@ EventQueue::executeRoot()
     const double ns =
         std::chrono::duration<double, std::nano>(Clock::now() - t0)
             .count();
-    ProfileBucket &bucket =
-        profile_[tag ? std::string_view(tag)
-                     : std::string_view("(untagged)")];
+    ProfileBucket &bucket = profileBucketFor(tag);
     ++bucket.count;
     bucket.wallNs += ns;
+}
+
+EventQueue::ProfileBucket &
+EventQueue::profileBucketFor(const char *tag)
+{
+    // Fast path: this exact pointer has been seen before.
+    auto it = profileIds_.find(tag);
+    if (it != profileIds_.end())
+        return profileTags_[it->second].bucket;
+    // Slow path (once per distinct pointer): intern by content so
+    // identical literals from different translation units — or a
+    // caller's transient buffer matching an existing tag — share one
+    // bucket, and the text is copied into storage the queue owns.
+    const std::string_view name =
+        tag ? std::string_view(tag) : std::string_view("(untagged)");
+    std::uint32_t id = 0;
+    for (; id < profileTags_.size(); ++id) {
+        if (profileTags_[id].name == name)
+            break;
+    }
+    if (id == profileTags_.size())
+        profileTags_.push_back(InternedTag{std::string(name), {}});
+    profileIds_.try_emplace(tag, id);
+    return profileTags_[id].bucket;
 }
 
 void
@@ -289,9 +311,9 @@ std::vector<EventProfileEntry>
 EventQueue::profile() const
 {
     std::vector<EventProfileEntry> rows;
-    rows.reserve(profile_.size());
-    for (const auto &[tag, bucket] : profile_)
-        rows.push_back({tag, bucket.count, bucket.wallNs});
+    rows.reserve(profileTags_.size());
+    for (const InternedTag &t : profileTags_)
+        rows.push_back({t.name, t.bucket.count, t.bucket.wallNs});
     std::sort(rows.begin(), rows.end(),
               [](const EventProfileEntry &a,
                  const EventProfileEntry &b) {

@@ -20,13 +20,14 @@
 #define MACROSIM_SIM_EVENT_HH
 
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <ostream>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/flat_map.hh"
+#include "sim/inline_callback.hh"
 #include "sim/ticks.hh"
 
 namespace macrosim
@@ -89,7 +90,11 @@ struct EventProfileEntry
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Scheduled callbacks live inline in the slot arena — captures
+     *  must fit InlineCallback's buffer (compile-time checked), so
+     *  schedule()/execute never touch the heap. std::function still
+     *  converts via a deprecated shim for one release. */
+    using Callback = InlineCallback;
 
     EventQueue() = default;
 
@@ -223,6 +228,15 @@ class EventQueue
         double wallNs = 0.0;
     };
 
+    /** One interned profiler tag: an owned copy of the tag text plus
+     *  its accumulator. Lives in a deque so EventProfileEntry views
+     *  into `name` stay stable as tags keep arriving. */
+    struct InternedTag
+    {
+        std::string name;
+        ProfileBucket bucket;
+    };
+
     /** Heap record: 24 bytes, trivially copyable, no callback. */
     struct HeapRecord
     {
@@ -270,10 +284,19 @@ class EventQueue
     std::vector<std::uint32_t> freeSlots_;
     EventQueueStats stats_;
 
-    /** Event-loop self-profiler (keyed by tag *content* so the same
-     *  literal in two translation units shares a bucket). */
+    /** Bucket for @p tag, interning it on first sight. */
+    ProfileBucket &profileBucketFor(const char *tag);
+
+    /** Event-loop self-profiler. Tags are interned: the fast path
+     *  maps the tag *pointer* to a bucket id (one FlatMap probe), and
+     *  first sight of a new pointer falls back to a content compare
+     *  so the same literal in two translation units still shares a
+     *  bucket. Interning copies the text into stable storage, so a
+     *  tag may die before the queue — the old string_view-keyed map
+     *  dangled in that case. */
     bool profiling_ = false;
-    std::unordered_map<std::string_view, ProfileBucket> profile_;
+    FlatMap<const char *, std::uint32_t> profileIds_;
+    std::deque<InternedTag> profileTags_;
 };
 
 } // namespace macrosim

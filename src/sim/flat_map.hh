@@ -1,0 +1,449 @@
+/**
+ * @file
+ * FlatMap: open-addressing robin-hood hash map for the simulation hot
+ * path.
+ *
+ * std::unordered_map allocates one node per element and chases a
+ * pointer per probe; at millions of transactions per second the node
+ * churn and cache misses dominate. FlatMap stores entries contiguously
+ * in one allocation, probes linearly (robin-hood displacement keeps
+ * probe chains short and variance low), and erases by backward shift —
+ * no tombstones, so lookups never slow down after heavy erase cycles.
+ *
+ * Contract with the simulator ("reserve and never rehash mid-run"):
+ * call reserve() with the expected population before the simulation
+ * starts; steady-state insert/erase then never allocates. Growth still
+ * works (amortized doubling) for populations that exceed the reserve —
+ * rehashes() exposes the count so benches can assert it stayed at the
+ * warm-up value.
+ *
+ * Deliberate non-features: not a drop-in std::unordered_map — no
+ * stable addresses (entries move on insert *and* erase; take values,
+ * not pointers), no copy (the sim state it holds is move-only in
+ * spirit), iterator order is the probe order (deterministic for a
+ * fixed insert/erase history, but unspecified — never iterate on a
+ * sim-order-critical path).
+ */
+
+#ifndef MACROSIM_SIM_FLAT_MAP_HH
+#define MACROSIM_SIM_FLAT_MAP_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace macrosim
+{
+
+/** Default FlatMap hash: splitmix64's finalizer. The identity hash
+ *  (libstdc++'s default for integers) clusters catastrophically under
+ *  linear probing when keys share low bits (line addresses do); the
+ *  finalizer is two multiplies and avalanche-complete. */
+template <typename Key>
+struct FlatHash
+{
+    static_assert(std::is_integral_v<Key> || std::is_enum_v<Key> ||
+                      std::is_pointer_v<Key>,
+                  "FlatHash covers integral/pointer keys; supply a "
+                  "custom hasher otherwise");
+
+    std::size_t
+    operator()(Key key) const noexcept
+    {
+        std::uint64_t x;
+        if constexpr (std::is_pointer_v<Key>)
+            x = reinterpret_cast<std::uintptr_t>(key);
+        else
+            x = static_cast<std::uint64_t>(key);
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        return static_cast<std::size_t>(x);
+    }
+};
+
+template <typename Key, typename T, typename Hash = FlatHash<Key>>
+class FlatMap
+{
+  public:
+    using value_type = std::pair<Key, T>;
+
+    /** Probe distances are stored in a byte (0 = empty slot, else
+     *  distance-from-home + 1); the load-factor cap keeps real chains
+     *  far below this, but growth is forced if one ever gets close. */
+    static constexpr std::uint8_t maxProbe = 250;
+
+    FlatMap() = default;
+
+    FlatMap(FlatMap &&other) noexcept { swap(other); }
+
+    FlatMap &
+    operator=(FlatMap &&other) noexcept
+    {
+        if (this != &other) {
+            destroyAll();
+            cap_ = size_ = maxLoad_ = 0;
+            storage_.reset();
+            dist_.reset();
+            swap(other);
+        }
+        return *this;
+    }
+
+    FlatMap(const FlatMap &) = delete;
+    FlatMap &operator=(const FlatMap &) = delete;
+
+    ~FlatMap() { destroyAll(); }
+
+    template <bool Const>
+    class Iter
+    {
+      public:
+        using MapPtr = std::conditional_t<Const, const FlatMap *, FlatMap *>;
+        using reference =
+            std::conditional_t<Const, const value_type &, value_type &>;
+        using pointer =
+            std::conditional_t<Const, const value_type *, value_type *>;
+
+        Iter() = default;
+        Iter(MapPtr map, std::size_t idx) : map_(map), idx_(idx) {}
+
+        /** const_iterator from iterator. */
+        template <bool C = Const, typename = std::enable_if_t<C>>
+        Iter(const Iter<false> &other)
+            : map_(other.map_), idx_(other.idx_)
+        {}
+
+        reference operator*() const { return *map_->entryAt(idx_); }
+        pointer operator->() const { return map_->entryAt(idx_); }
+
+        Iter &
+        operator++()
+        {
+            ++idx_;
+            skipEmpty();
+            return *this;
+        }
+
+        Iter
+        operator++(int)
+        {
+            Iter old = *this;
+            ++*this;
+            return old;
+        }
+
+        friend bool
+        operator==(const Iter &a, const Iter &b)
+        {
+            return a.idx_ == b.idx_;
+        }
+        friend bool
+        operator!=(const Iter &a, const Iter &b)
+        {
+            return a.idx_ != b.idx_;
+        }
+
+      private:
+        friend class FlatMap;
+        template <bool> friend class Iter;
+
+        void
+        skipEmpty()
+        {
+            while (idx_ < map_->cap_ && map_->dist_[idx_] == 0)
+                ++idx_;
+        }
+
+        MapPtr map_ = nullptr;
+        std::size_t idx_ = 0;
+    };
+
+    using iterator = Iter<false>;
+    using const_iterator = Iter<true>;
+
+    iterator
+    begin()
+    {
+        iterator it(this, 0);
+        it.skipEmpty();
+        return it;
+    }
+    const_iterator
+    begin() const
+    {
+        const_iterator it(this, 0);
+        it.skipEmpty();
+        return it;
+    }
+    iterator end() { return iterator(this, cap_); }
+    const_iterator end() const { return const_iterator(this, cap_); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Allocated slot count (power of two; 0 before first insert). */
+    std::size_t capacity() const { return cap_; }
+
+    /** Table rebuilds so far — reserve() and growth both count. A
+     *  steady-state loop that never rehashes keeps this constant. */
+    std::size_t rehashes() const { return rehashes_; }
+
+    /** Grow (never shrink) so @p expected entries fit rehash-free. */
+    void
+    reserve(std::size_t expected)
+    {
+        std::size_t want = 16;
+        while (want * 7 / 8 < expected)
+            want *= 2;
+        if (want > cap_)
+            rehash(want);
+    }
+
+    void
+    clear()
+    {
+        destroyAll();
+        size_ = 0;
+        if (cap_ > 0) {
+            for (std::size_t i = 0; i < cap_; ++i)
+                dist_[i] = 0;
+        }
+    }
+
+    iterator
+    find(const Key &key)
+    {
+        return iterator(this, findIndex(key));
+    }
+
+    const_iterator
+    find(const Key &key) const
+    {
+        return const_iterator(this, findIndex(key));
+    }
+
+    bool contains(const Key &key) const { return findIndex(key) != cap_; }
+    std::size_t count(const Key &key) const { return contains(key) ? 1 : 0; }
+
+    template <typename... Args>
+    std::pair<iterator, bool>
+    try_emplace(const Key &key, Args &&...args)
+    {
+        std::size_t idx = findIndex(key);
+        if (idx != cap_)
+            return {iterator(this, idx), false};
+        if (cap_ == 0 || size_ + 1 > maxLoad_)
+            rehash(cap_ == 0 ? 16 : cap_ * 2);
+        insertFresh(value_type(std::piecewise_construct,
+                               std::forward_as_tuple(key),
+                               std::forward_as_tuple(
+                                   std::forward<Args>(args)...)));
+        ++size_;
+        return {iterator(this, findIndex(key)), true};
+    }
+
+    template <typename V>
+    std::pair<iterator, bool>
+    insert_or_assign(const Key &key, V &&value)
+    {
+        auto [it, inserted] = try_emplace(key, std::forward<V>(value));
+        if (!inserted)
+            it->second = std::forward<V>(value);
+        return {it, inserted};
+    }
+
+    T &
+    operator[](const Key &key)
+    {
+        return try_emplace(key).first->second;
+    }
+
+    T &
+    at(const Key &key)
+    {
+        const std::size_t idx = findIndex(key);
+        assert(idx != cap_ && "FlatMap::at: key absent");
+        return entryAt(idx)->second;
+    }
+
+    const T &
+    at(const Key &key) const
+    {
+        const std::size_t idx = findIndex(key);
+        assert(idx != cap_ && "FlatMap::at: key absent");
+        return entryAt(idx)->second;
+    }
+
+    bool
+    erase(const Key &key)
+    {
+        const std::size_t idx = findIndex(key);
+        if (idx == cap_)
+            return false;
+        eraseIndex(idx);
+        return true;
+    }
+
+    void erase(iterator it) { eraseIndex(it.idx_); }
+    void erase(const_iterator it) { eraseIndex(it.idx_); }
+
+  private:
+    value_type *
+    entryAt(std::size_t idx)
+    {
+        return reinterpret_cast<value_type *>(storage_.get()) + idx;
+    }
+
+    const value_type *
+    entryAt(std::size_t idx) const
+    {
+        return reinterpret_cast<const value_type *>(storage_.get()) +
+               idx;
+    }
+
+    std::size_t homeIndex(const Key &key) const
+    {
+        return Hash{}(key) & (cap_ - 1);
+    }
+
+    /** Slot of @p key, or cap_ (== end()) if absent. The robin-hood
+     *  invariant bounds the scan: once a slot is empty or holds an
+     *  entry closer to its home than we are to ours, the key cannot
+     *  be further right. */
+    std::size_t
+    findIndex(const Key &key) const
+    {
+        if (size_ == 0)
+            return cap_;
+        std::size_t idx = homeIndex(key);
+        std::uint8_t d = 1;
+        while (dist_[idx] >= d) {
+            if (dist_[idx] == d && entryAt(idx)->first == key)
+                return idx;
+            idx = (idx + 1) & (cap_ - 1);
+            ++d;
+        }
+        return cap_;
+    }
+
+    /** Robin-hood insert of a key known to be absent. May displace
+     *  richer entries; forces growth if a probe chain would overflow
+     *  the distance byte. Does not bump size_. */
+    void
+    insertFresh(value_type &&fresh)
+    {
+        value_type cur = std::move(fresh);
+        for (;;) {
+            std::size_t idx = homeIndex(cur.first);
+            std::uint8_t d = 1;
+            bool placed = false;
+            while (!placed) {
+                if (dist_[idx] == 0) {
+                    ::new (static_cast<void *>(entryAt(idx)))
+                        value_type(std::move(cur));
+                    dist_[idx] = d;
+                    return;
+                }
+                if (dist_[idx] < d) {
+                    std::swap(cur, *entryAt(idx));
+                    std::swap(d, dist_[idx]);
+                }
+                idx = (idx + 1) & (cap_ - 1);
+                ++d;
+                if (d > maxProbe)
+                    break; // pathological chain: grow and retry
+            }
+            rehash(cap_ * 2);
+        }
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        auto old_storage = std::move(storage_);
+        auto old_dist = std::move(dist_);
+        const std::size_t old_cap = cap_;
+
+        cap_ = new_cap;
+        maxLoad_ = cap_ * 7 / 8;
+        storage_ = std::make_unique<std::byte[]>(
+            cap_ * sizeof(value_type));
+        dist_ = std::make_unique<std::uint8_t[]>(cap_);
+        for (std::size_t i = 0; i < cap_; ++i)
+            dist_[i] = 0;
+        ++rehashes_;
+
+        if (!old_storage)
+            return;
+        value_type *old_entries =
+            reinterpret_cast<value_type *>(old_storage.get());
+        for (std::size_t i = 0; i < old_cap; ++i) {
+            if (old_dist[i] == 0)
+                continue;
+            insertFresh(std::move(old_entries[i]));
+            old_entries[i].~value_type();
+        }
+    }
+
+    void
+    eraseIndex(std::size_t idx)
+    {
+        assert(idx < cap_ && dist_[idx] != 0 &&
+               "FlatMap::erase: invalid position");
+        entryAt(idx)->~value_type();
+        // Backward shift: pull every displaced successor one slot
+        // left, restoring the invariant without tombstones.
+        std::size_t next = (idx + 1) & (cap_ - 1);
+        while (dist_[next] > 1) {
+            ::new (static_cast<void *>(entryAt(idx)))
+                value_type(std::move(*entryAt(next)));
+            entryAt(next)->~value_type();
+            dist_[idx] = static_cast<std::uint8_t>(dist_[next] - 1);
+            dist_[next] = 0;
+            idx = next;
+            next = (next + 1) & (cap_ - 1);
+        }
+        dist_[idx] = 0;
+        --size_;
+    }
+
+    void
+    destroyAll()
+    {
+        if constexpr (!std::is_trivially_destructible_v<value_type>) {
+            for (std::size_t i = 0; i < cap_; ++i) {
+                if (dist_[i] != 0)
+                    entryAt(i)->~value_type();
+            }
+        }
+    }
+
+    void
+    swap(FlatMap &other) noexcept
+    {
+        std::swap(cap_, other.cap_);
+        std::swap(size_, other.size_);
+        std::swap(maxLoad_, other.maxLoad_);
+        std::swap(rehashes_, other.rehashes_);
+        storage_.swap(other.storage_);
+        dist_.swap(other.dist_);
+    }
+
+    std::size_t cap_ = 0;     ///< Power of two, or 0 before growth.
+    std::size_t size_ = 0;    ///< Live entries.
+    std::size_t maxLoad_ = 0; ///< Grow once size_ would exceed this.
+    std::size_t rehashes_ = 0;
+    std::unique_ptr<std::byte[]> storage_; ///< cap_ value_type cells.
+    std::unique_ptr<std::uint8_t[]> dist_; ///< 0 empty, else probe+1.
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_SIM_FLAT_MAP_HH

@@ -23,6 +23,11 @@ CoherenceEngine::CoherenceEngine(Simulator &sim, Network &net,
         / net_.config().memoryPortBytesPerNs);
     memoryChannels_.resize(static_cast<std::size_t>(sites)
                            * memoryPorts_);
+    // Reserve the hot-path tables up front so steady-state traffic
+    // never rehashes (see flat_map.hh's contract).
+    txns_.reserve(1024);
+    lineLocks_.reserve(1024);
+    outstanding_.reserve(1024);
     for (SiteId s = 0; s < sites; ++s) {
         net_.setDeliveryHandler(s, [this](const Message &m) {
             onDelivery(m);
@@ -93,6 +98,60 @@ CoherenceEngine::registerTelemetry()
     }
 }
 
+CoherenceEngine::Txn *
+CoherenceEngine::findTxn(TxnId id)
+{
+    auto it = txns_.find(id);
+    return it == txns_.end() ? nullptr : &txnPool_[it->second];
+}
+
+CoherenceEngine::Txn &
+CoherenceEngine::allocTxn()
+{
+    std::uint32_t idx;
+    if (!txnFree_.empty()) {
+        idx = txnFree_.back();
+        txnFree_.pop_back();
+    } else {
+        idx = static_cast<std::uint32_t>(txnPool_.size());
+        txnPool_.emplace_back();
+    }
+    Txn &txn = txnPool_[idx];
+    txn.poolIndex = idx;
+    return txn;
+}
+
+void
+CoherenceEngine::releaseTxn(TxnId id)
+{
+    auto it = txns_.find(id);
+    if (it == txns_.end())
+        return;
+    const std::uint32_t idx = it->second;
+    txns_.erase(it);
+    // Scrub back to the default state, keeping the vectors' capacity
+    // (clear(), not shrink) so the recycled record issues without
+    // touching the heap.
+    Txn &txn = txnPool_[idx];
+    txn.id = 0;
+    txn.requester = 0;
+    txn.home = 0;
+    txn.op = CoherenceOp::GetS;
+    txn.line = 0;
+    txn.needsData = true;
+    txn.dataReceived = false;
+    txn.pendingAcks = 0;
+    txn.expanded = false;
+    txn.start = 0;
+    txn.installState = CacheState::Shared;
+    txn.sharers.clear();
+    txn.done = nullptr;
+    txn.coalescedDone.clear();
+    txn.attempts = 0;
+    txn.retryEvent = invalidEventId;
+    txnFree_.push_back(idx);
+}
+
 void
 CoherenceEngine::send(SiteId src, SiteId dst, CoherenceMsg type,
                       std::uint32_t bytes, TxnId txn)
@@ -128,21 +187,21 @@ CoherenceEngine::startSynthetic(SiteId requester, SiteId home,
 {
     if (directoryMode_)
         panic("startSynthetic called on a directory-mode engine");
-    Txn txn;
+    Txn &txn = allocTxn();
     txn.id = nextTxn_++;
     txn.requester = requester;
     txn.home = home;
     txn.op = op;
-    txn.sharers = sharers;
+    txn.sharers = sharers; // copy-assign reuses the pooled capacity
     txn.needsData = (op == CoherenceOp::GetS || op == CoherenceOp::GetM);
     txn.start = sim_.now();
     txn.done = std::move(done);
     const TxnId id = txn.id;
-    auto it = txns_.emplace(id, std::move(txn)).first;
+    txns_.try_emplace(id, txn.poolIndex);
     ++started_;
 
-    sendRequest(it->second);
-    armTimeout(it->second);
+    sendRequest(txn);
+    armTimeout(txn);
     return id;
 }
 
@@ -170,10 +229,10 @@ CoherenceEngine::armTimeout(Txn &txn)
 void
 CoherenceEngine::onTimeout(TxnId id)
 {
-    auto it = txns_.find(id);
-    if (it == txns_.end())
+    Txn *found = findTxn(id);
+    if (!found)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *found;
     txn.retryEvent = invalidEventId;
     if (txn.attempts >= resilience_.maxRetries) {
         abortTxn(txn);
@@ -202,7 +261,7 @@ CoherenceEngine::abortTxn(Txn &txn)
     const TxnId id = txn.id;
     const Addr line = txn.line;
     const SiteId requester = txn.requester;
-    txns_.erase(id);
+    releaseTxn(id);
 
     if (directoryMode_) {
         const std::uint64_t key = outstandingKey(requester, line);
@@ -243,7 +302,7 @@ CoherenceEngine::releaseLineLock(Addr line, TxnId id)
         lineLocks_.erase(it);
     } else {
         const TxnId next = lock.waiters.front();
-        lock.waiters.pop_front();
+        lock.waiters.erase(lock.waiters.begin());
         lock.holder = next;
         scheduleExpansion(next);
     }
@@ -286,9 +345,8 @@ CoherenceEngine::startAccess(SiteId site, Addr addr, MemOp op,
     // line when its permission suffices for this access.
     const std::uint64_t key = outstandingKey(site, line);
     if (auto out = outstanding_.find(key); out != outstanding_.end()) {
-        if (auto txn_it = txns_.find(out->second);
-            txn_it != txns_.end()) {
-            Txn &pending = txn_it->second;
+        if (Txn *pending_txn = findTxn(out->second)) {
+            Txn &pending = *pending_txn;
             const bool strong_enough =
                 op == MemOp::Read
                 || pending.op == CoherenceOp::GetM
@@ -302,7 +360,7 @@ CoherenceEngine::startAccess(SiteId site, Addr addr, MemOp op,
         }
     }
 
-    Txn txn;
+    Txn &txn = allocTxn();
     txn.id = nextTxn_++;
     txn.requester = site;
     txn.home = dirs_[0]->homeSite(line, lineBytes_);
@@ -312,12 +370,12 @@ CoherenceEngine::startAccess(SiteId site, Addr addr, MemOp op,
     txn.start = sim_.now();
     txn.done = std::move(done);
     const TxnId id = txn.id;
-    auto it = txns_.emplace(id, std::move(txn)).first;
+    txns_.try_emplace(id, txn.poolIndex);
     ++started_;
     outstanding_[key] = id;
 
-    sendRequest(it->second);
-    armTimeout(it->second);
+    sendRequest(txn);
+    armTimeout(txn);
     return id;
 }
 
@@ -375,10 +433,10 @@ CoherenceEngine::onRequestAtHome(const Message &msg)
         // on this line is outstanding, this request waits its turn —
         // the classic directory mechanism that preserves the
         // single-writer invariant under races.
-        auto it = txns_.find(msg.txn);
-        if (it == txns_.end())
+        Txn *txn = findTxn(msg.txn);
+        if (!txn)
             return;
-        const Addr line = it->second.line;
+        const Addr line = txn->line;
         auto [lock_it, inserted] = lineLocks_.try_emplace(line);
         if (inserted) {
             lock_it->second.holder = msg.txn;
@@ -401,14 +459,13 @@ CoherenceEngine::scheduleExpansion(TxnId id)
 {
     // The home performs a directory/L2 lookup before acting.
     sim_.events().scheduleAfter(directoryLatency_, [this, id] {
-        auto it = txns_.find(id);
-        if (it == txns_.end())
+        Txn *txn = findTxn(id);
+        if (!txn)
             return;
-        Txn &txn = it->second;
         if (directoryMode_)
-            expandDirectory(txn);
+            expandDirectory(*txn);
         else
-            expandSynthetic(txn);
+            expandSynthetic(*txn);
     }, "arch.dir_lookup");
 }
 
@@ -577,6 +634,11 @@ CoherenceEngine::expandDirectory(Txn &txn)
         }
         send(txn.home, txn.requester, CoherenceMsg::WritebackAck,
              controlMessageBytes, txn.id);
+        // A line written back with no sharers is Uncached — exactly
+        // what an absent entry decodes to, so drop it instead of
+        // letting dead entries accumulate. `e` is dangling after
+        // this; the case must not touch it again.
+        dir.reclaim(txn.line);
         break;
     }
     maybeComplete(txn);
@@ -585,10 +647,10 @@ CoherenceEngine::expandDirectory(Txn &txn)
 void
 CoherenceEngine::onFwdAtOwner(const Message &msg)
 {
-    auto it = txns_.find(msg.txn);
-    if (it == txns_.end())
+    Txn *found = findTxn(msg.txn);
+    if (!found)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *found;
     const SiteId owner = msg.dst;
     if (directoryMode_) {
         SetAssocCache &l2 = *l2s_[owner];
@@ -610,10 +672,10 @@ CoherenceEngine::onFwdAtOwner(const Message &msg)
 void
 CoherenceEngine::onInvalidateAtSharer(const Message &msg)
 {
-    auto it = txns_.find(msg.txn);
-    if (it == txns_.end())
+    Txn *found = findTxn(msg.txn);
+    if (!found)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *found;
     const SiteId sharer = msg.dst;
     if (directoryMode_)
         l2s_[sharer]->invalidate(txn.line);
@@ -624,10 +686,10 @@ CoherenceEngine::onInvalidateAtSharer(const Message &msg)
 void
 CoherenceEngine::onDataAtRequester(const Message &msg)
 {
-    auto it = txns_.find(msg.txn);
-    if (it == txns_.end())
+    Txn *found = findTxn(msg.txn);
+    if (!found)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *found;
     txn.dataReceived = true;
     if (directoryMode_) {
         const CacheState install =
@@ -641,10 +703,10 @@ CoherenceEngine::onDataAtRequester(const Message &msg)
 void
 CoherenceEngine::onAckAtRequester(const Message &msg)
 {
-    auto it = txns_.find(msg.txn);
-    if (it == txns_.end())
+    Txn *found = findTxn(msg.txn);
+    if (!found)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *found;
     if (msg.type == CoherenceMsg::WritebackAck) {
         // Upgrade grant or writeback completion.
         txn.dataReceived = true;
@@ -690,7 +752,7 @@ CoherenceEngine::maybeComplete(Txn &txn)
     const TxnId id = txn.id;
     const Addr line = txn.line;
     const SiteId requester = txn.requester;
-    txns_.erase(id);
+    releaseTxn(id);
 
     if (directoryMode_) {
         // Retire this site's MSHR entry for the line, unless a newer
@@ -721,8 +783,9 @@ CoherenceEngine::installLine(SiteId site, Addr line, CacheState state)
     if (result.writeback.has_value()) {
         ++writebacks_;
         // Dirty eviction: fire-and-forget PutM carrying the line to
-        // its own home.
-        Txn txn;
+        // its own home. (The caller may hold a Txn& — the pool is a
+        // deque precisely so this allocation cannot invalidate it.)
+        Txn &txn = allocTxn();
         txn.id = nextTxn_++;
         txn.requester = site;
         txn.home = dirs_[0]->homeSite(*result.writeback, lineBytes_);
@@ -730,11 +793,10 @@ CoherenceEngine::installLine(SiteId site, Addr line, CacheState state)
         txn.line = *result.writeback;
         txn.needsData = false;
         txn.start = sim_.now();
-        const TxnId id = txn.id;
-        auto it = txns_.emplace(id, std::move(txn)).first;
+        txns_.try_emplace(txn.id, txn.poolIndex);
         ++started_;
-        sendRequest(it->second);
-        armTimeout(it->second);
+        sendRequest(txn);
+        armTimeout(txn);
     }
 }
 

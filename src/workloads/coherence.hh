@@ -35,13 +35,13 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/cache.hh"
 #include "arch/directory.hh"
 #include "net/channel.hh"
 #include "net/network.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 
 namespace macrosim
@@ -202,6 +202,9 @@ class CoherenceEngine
         /** Resilience bookkeeping (unused when disabled). */
         std::uint32_t attempts = 0;
         EventId retryEvent = invalidEventId;
+        /** Where this record lives in txnPool_ (self-index, so the
+         *  free list can be rebuilt from a reference). */
+        std::uint32_t poolIndex = 0;
     };
 
     /** Register "arch.*" stats in the simulator's registry. */
@@ -253,6 +256,16 @@ class CoherenceEngine
     Tick memoryLatency_;
     Tick memoryOccupancy_;
     std::uint32_t memoryPorts_;
+
+    /** The live record for @p id, or nullptr if it already retired. */
+    Txn *findTxn(TxnId id);
+    /** Claim a pooled record (recycled or fresh); the caller fills
+     *  every field it needs — releaseTxn() reset the rest. */
+    Txn &allocTxn();
+    /** Retire @p id: unmap it, scrub the record, free-list it. Any
+     *  Txn& for the id is stale after this (the memory stays valid —
+     *  the pool is a deque — but may be re-issued immediately). */
+    void releaseTxn(TxnId id);
     std::uint32_t lineBytes_;
     /** memoryPorts_ BusyResources per site, flattened. */
     std::vector<BusyResource> memoryChannels_;
@@ -269,7 +282,18 @@ class CoherenceEngine
     std::uint64_t aborted_ = 0;
     std::uint64_t staleAcks_ = 0;
     Accumulator opLatency_;
-    std::unordered_map<TxnId, Txn> txns_;
+
+    /**
+     * Live transactions: a free-listed record pool (deque, so
+     * references are stable while the pool grows — installLine can
+     * allocate a writeback Txn while the caller holds a Txn&) with a
+     * flat id -> pool-index map on top. Records are recycled with
+     * their vectors' capacity intact, so steady-state issue/retire
+     * allocates nothing.
+     */
+    std::deque<Txn> txnPool_;
+    std::vector<std::uint32_t> txnFree_;
+    FlatMap<TxnId, std::uint32_t> txns_;
 
     /** Directory mode state. */
     std::vector<std::unique_ptr<SetAssocCache>> l2s_;
@@ -287,16 +311,19 @@ class CoherenceEngine
     struct LineLock
     {
         TxnId holder = 0;
-        std::deque<TxnId> waiters;
+        /** FIFO; erased from the front. Waiter lists are short (a
+         *  handful of racers per hot line), so a vector's one shift
+         *  beats a deque's allocated blocks. */
+        std::vector<TxnId> waiters;
     };
-    std::unordered_map<Addr, LineLock> lineLocks_;
+    FlatMap<Addr, LineLock> lineLocks_;
 
     /**
      * Requester-side MSHR coalescing: (site, line) -> the most
      * recent outstanding transaction fetching that line for that
      * site. Key is line-number * siteCount + site (unique).
      */
-    std::unordered_map<std::uint64_t, TxnId> outstanding_;
+    FlatMap<std::uint64_t, TxnId> outstanding_;
 
     std::uint64_t
     outstandingKey(SiteId site, Addr line) const

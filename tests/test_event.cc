@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <utility>
@@ -65,15 +67,30 @@ TEST(EventQueue, RunUntilStopsAtLimitInclusive)
     EXPECT_EQ(q.size(), 1u);
 }
 
+namespace
+{
+
+/** Self-rescheduling callable (a lambda cannot capture itself). */
+struct Chain
+{
+    EventQueue &q;
+    int &depth;
+
+    void
+    operator()() const
+    {
+        if (++depth < 100)
+            q.scheduleAfter(1, Chain{q, depth});
+    }
+};
+
+} // namespace
+
 TEST(EventQueue, EventsCanScheduleMoreEvents)
 {
     EventQueue q;
     int depth = 0;
-    std::function<void()> chain = [&] {
-        if (++depth < 100)
-            q.scheduleAfter(1, chain);
-    };
-    q.schedule(0, chain);
+    q.schedule(0, Chain{q, depth});
     q.runUntil();
     EXPECT_EQ(depth, 100);
     EXPECT_EQ(q.now(), 99u);
@@ -270,6 +287,120 @@ TEST(EventQueue, SchedulingInPastPanics)
     q.schedule(100, [] {});
     q.runUntil();
     EXPECT_DEATH(q.schedule(50, [] {}), "before now");
+}
+
+TEST(EventQueueProfiler, TagsAreInternedNotBorrowed)
+{
+    // Regression: the profiler used to key its buckets by
+    // string_view into caller storage, so a tag freed before the
+    // queue left a dangling key. Tags must be copied when interned —
+    // under ASan this test crashes if any view still points at the
+    // freed buffer.
+    EventQueue q;
+    q.setProfiling(true);
+    {
+        auto tag = std::make_unique<char[]>(16);
+        std::snprintf(tag.get(), 16, "transient.tag");
+        q.schedule(1, [] {}, tag.get());
+        q.runOne();
+    } // tag storage freed while the queue lives on
+    const auto rows = q.profile();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].tag, "transient.tag");
+    EXPECT_EQ(rows[0].count, 1u);
+    std::ostringstream os;
+    q.dumpProfile(os);
+    EXPECT_NE(os.str().find("transient.tag"), std::string::npos);
+}
+
+TEST(EventQueueProfiler, EqualContentAtDistinctAddressesShares)
+{
+    // The same tag text arriving via two different pointers (e.g.
+    // the same literal in two translation units) must aggregate in
+    // one bucket.
+    EventQueue q;
+    q.setProfiling(true);
+    char a[] = "net.hop";
+    char b[] = "net.hop";
+    ASSERT_NE(static_cast<const char *>(a),
+              static_cast<const char *>(b));
+    q.schedule(1, [] {}, a);
+    q.schedule(2, [] {}, b);
+    q.runUntil();
+    const auto rows = q.profile();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].tag, "net.hop");
+    EXPECT_EQ(rows[0].count, 2u);
+}
+
+TEST(EventQueueProfiler, UntaggedEventsAggregate)
+{
+    EventQueue q;
+    q.setProfiling(true);
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    q.runUntil();
+    const auto rows = q.profile();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].tag, "(untagged)");
+    EXPECT_EQ(rows[0].count, 2u);
+}
+
+TEST(InlineCallback, EmptyAndNullBehave)
+{
+    InlineCallback cb;
+    EXPECT_FALSE(cb);
+    InlineCallback null_cb(nullptr);
+    EXPECT_FALSE(null_cb);
+    cb = [] {};
+    EXPECT_TRUE(cb);
+    cb = nullptr;
+    EXPECT_FALSE(cb);
+}
+
+TEST(InlineCallback, MoveTransfersTargetAndEmptiesSource)
+{
+    int hits = 0;
+    InlineCallback a = [&hits] { ++hits; };
+    InlineCallback b = std::move(a);
+    EXPECT_FALSE(a); // NOLINT: post-move state is specified here
+    ASSERT_TRUE(b);
+    b();
+    EXPECT_EQ(hits, 1);
+    a = std::move(b);
+    EXPECT_FALSE(b); // NOLINT
+    a();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, DestroysCapturePromptly)
+{
+    auto token = std::make_shared<int>(7);
+    ASSERT_EQ(token.use_count(), 1);
+    {
+        InlineCallback cb = [token] { (void)*token; };
+        EXPECT_EQ(token.use_count(), 2);
+        cb = nullptr; // must run the capture's destructor
+        EXPECT_EQ(token.use_count(), 1);
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineCallback, DeprecatedStdFunctionShimStillWorks)
+{
+    // One-release compatibility: out-of-tree std::function callers
+    // keep compiling (with a deprecation warning) and keep running.
+    int hits = 0;
+    std::function<void()> fn = [&hits] { ++hits; };
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    EventQueue q;
+    q.schedule(1, fn);
+    InlineCallback empty_shim{std::function<void()>{}};
+#pragma GCC diagnostic pop
+    EXPECT_FALSE(empty_shim); // empty function -> empty callback
+    q.runUntil();
+    EXPECT_EQ(hits, 1);
 }
 
 TEST(Simulator, RunAdvancesTime)

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Tests for FlatMap, the robin-hood open-addressing map under the
+ * simulator's hot-path state tables.
+ *
+ * The heavy lifting is a randomized differential test against
+ * std::unordered_map (the same reference-model style as
+ * test_event_stress.cc): long interleaved insert/erase/find/clear
+ * histories must agree with the standard container exactly. On top
+ * of that, directed tests pin the backward-shift erase paths —
+ * colliding clusters, wraparound at the table's end — and the
+ * reserve/rehash observability contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/flat_map.hh"
+
+namespace
+{
+
+using namespace macrosim;
+
+TEST(FlatMap, StartsEmpty)
+{
+    FlatMap<std::uint64_t, int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.capacity(), 0u);
+    EXPECT_EQ(m.find(42), m.end());
+    EXPECT_FALSE(m.erase(42));
+    EXPECT_FALSE(m.contains(42));
+    EXPECT_EQ(m.begin(), m.end());
+}
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<std::uint64_t, std::string> m;
+    auto [it, inserted] = m.try_emplace(7, "seven");
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(it->first, 7u);
+    EXPECT_EQ(it->second, "seven");
+
+    auto [it2, inserted2] = m.try_emplace(7, "again");
+    EXPECT_FALSE(inserted2);
+    EXPECT_EQ(it2->second, "seven"); // try_emplace keeps the old value
+
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_TRUE(m.erase(7));
+    EXPECT_FALSE(m.contains(7));
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMap, SubscriptDefaultConstructsAndAssigns)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    EXPECT_EQ(m[5], 0u);
+    m[5] = 99;
+    EXPECT_EQ(m.at(5), 99u);
+    m[5] += 1;
+    EXPECT_EQ(m.at(5), 100u);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, InsertOrAssignOverwrites)
+{
+    FlatMap<std::uint64_t, int> m;
+    EXPECT_TRUE(m.insert_or_assign(3, 30).second);
+    EXPECT_FALSE(m.insert_or_assign(3, 31).second);
+    EXPECT_EQ(m.at(3), 31);
+}
+
+TEST(FlatMap, HoldsMoveOnlyValues)
+{
+    FlatMap<std::uint64_t, std::unique_ptr<int>> m;
+    m.try_emplace(1, std::make_unique<int>(11));
+    m.try_emplace(2, std::make_unique<int>(22));
+    EXPECT_EQ(*m.at(1), 11);
+    EXPECT_TRUE(m.erase(1));
+    EXPECT_EQ(*m.at(2), 22);
+}
+
+TEST(FlatMap, IterationVisitsEveryEntryOnce)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        m.try_emplace(k * 977, k);
+    std::vector<std::uint64_t> keys;
+    for (const auto &[k, v] : m) {
+        EXPECT_EQ(v, k / 977);
+        keys.push_back(k);
+    }
+    std::sort(keys.begin(), keys.end());
+    ASSERT_EQ(keys.size(), 100u);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        EXPECT_EQ(keys[k], k * 977);
+}
+
+TEST(FlatMap, EraseByIterator)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 10; ++k)
+        m.try_emplace(k, static_cast<int>(k));
+    auto it = m.find(4);
+    ASSERT_NE(it, m.end());
+    m.erase(it);
+    EXPECT_EQ(m.size(), 9u);
+    EXPECT_FALSE(m.contains(4));
+    for (std::uint64_t k = 0; k < 10; ++k) {
+        if (k != 4) {
+            EXPECT_TRUE(m.contains(k)) << k;
+        }
+    }
+}
+
+TEST(FlatMap, ReserveThenFillNeverRehashes)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    m.reserve(1000);
+    const std::size_t after_reserve = m.rehashes();
+    const std::size_t cap = m.capacity();
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        m.try_emplace(k, k);
+    EXPECT_EQ(m.rehashes(), after_reserve);
+    EXPECT_EQ(m.capacity(), cap);
+    EXPECT_EQ(m.size(), 1000u);
+}
+
+TEST(FlatMap, GrowthPreservesEntries)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t k = 0; k < 5000; ++k)
+        m.try_emplace(k * k + 1, k);
+    EXPECT_GT(m.rehashes(), 1u); // grew several times from 16
+    for (std::uint64_t k = 0; k < 5000; ++k)
+        EXPECT_EQ(m.at(k * k + 1), k);
+}
+
+TEST(FlatMap, ClearKeepsCapacity)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        m.try_emplace(k, 1);
+    const std::size_t cap = m.capacity();
+    const std::size_t rehashes = m.rehashes();
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.capacity(), cap);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        EXPECT_FALSE(m.contains(k));
+    for (std::uint64_t k = 0; k < 100; ++k)
+        m.try_emplace(k, 2);
+    EXPECT_EQ(m.rehashes(), rehashes); // refill fit the old table
+}
+
+TEST(FlatMap, MoveTransfersContents)
+{
+    FlatMap<std::uint64_t, int> a;
+    a.try_emplace(1, 10);
+    a.try_emplace(2, 20);
+    FlatMap<std::uint64_t, int> b = std::move(a);
+    EXPECT_EQ(b.size(), 2u);
+    EXPECT_EQ(b.at(2), 20);
+    a = std::move(b);
+    EXPECT_EQ(a.at(1), 10);
+}
+
+/** Degenerate hash: every key lands in bucket (key % 4), forcing
+ *  long colliding clusters, displacement, and wraparound. */
+struct Mod4Hash
+{
+    std::size_t
+    operator()(std::uint64_t k) const noexcept
+    {
+        return static_cast<std::size_t>(k % 4);
+    }
+};
+
+TEST(FlatMap, CollidingClusterSurvivesMiddleErase)
+{
+    FlatMap<std::uint64_t, int, Mod4Hash> m;
+    // All five keys hash to bucket 1: one contiguous probe cluster.
+    for (std::uint64_t k : {1u, 5u, 9u, 13u, 17u})
+        m.try_emplace(k, static_cast<int>(k));
+    // Erasing from the middle backward-shifts the tail; everything
+    // else must stay findable.
+    EXPECT_TRUE(m.erase(9));
+    EXPECT_FALSE(m.contains(9));
+    for (std::uint64_t k : {1u, 5u, 13u, 17u})
+        EXPECT_EQ(m.at(k), static_cast<int>(k)) << k;
+    EXPECT_TRUE(m.erase(1)); // erase the cluster head
+    for (std::uint64_t k : {5u, 13u, 17u})
+        EXPECT_EQ(m.at(k), static_cast<int>(k)) << k;
+    EXPECT_EQ(m.size(), 3u);
+}
+
+/** Identity hash: the key *is* the bucket (mod capacity), so a test
+ *  can aim a probe cluster at any slot — including the table's last,
+ *  to force wraparound. */
+struct IdentityHash
+{
+    std::size_t
+    operator()(std::uint64_t k) const noexcept
+    {
+        return static_cast<std::size_t>(k);
+    }
+};
+
+TEST(FlatMap, ClusterWrapsAroundTableEnd)
+{
+    FlatMap<std::uint64_t, int, IdentityHash> m;
+    m.reserve(8); // 16 slots.
+    ASSERT_EQ(m.capacity(), 16u);
+    // 13 keys all homed at slot 14: the cluster spans 14, 15, then
+    // wraps to 0..10, so every find/erase crosses the wrap point.
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t i = 0; i < 13; ++i)
+        keys.push_back(14 + 16 * i);
+    for (std::uint64_t k : keys)
+        m.try_emplace(k, static_cast<int>(k));
+    for (std::uint64_t k : keys)
+        EXPECT_EQ(m.at(k), static_cast<int>(k)) << k;
+    // Erase in an order that exercises shifts across the wrap point.
+    for (std::uint64_t k : keys) {
+        EXPECT_TRUE(m.erase(k)) << k;
+        EXPECT_FALSE(m.contains(k)) << k;
+    }
+    EXPECT_TRUE(m.empty());
+}
+
+/** Deterministic xorshift so the differential history is replayable. */
+std::uint64_t
+nextRand(std::uint64_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+TEST(FlatMap, DifferentialAgainstUnorderedMap)
+{
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+
+    const auto checkConsistent = [&] {
+        ASSERT_EQ(flat.size(), ref.size());
+        for (const auto &[k, v] : ref) {
+            auto it = flat.find(k);
+            ASSERT_NE(it, flat.end()) << "missing key " << k;
+            ASSERT_EQ(it->second, v) << "wrong value for " << k;
+        }
+        for (const auto &[k, v] : flat) {
+            auto it = ref.find(k);
+            ASSERT_NE(it, ref.end()) << "phantom key " << k;
+            ASSERT_EQ(it->second, v);
+        }
+    };
+
+    for (int round = 0; round < 20; ++round) {
+        for (int op = 0; op < 2000; ++op) {
+            // A small key universe keeps hit rates high on every
+            // operation type (inserts that collide, erases that hit).
+            const std::uint64_t key = nextRand(rng) % 512;
+            switch (nextRand(rng) % 8) {
+              case 0:
+              case 1:
+              case 2: { // try_emplace
+                const std::uint64_t val = nextRand(rng);
+                const bool f =
+                    flat.try_emplace(key, val).second;
+                const bool r = ref.try_emplace(key, val).second;
+                ASSERT_EQ(f, r);
+                break;
+              }
+              case 3: { // insert_or_assign
+                const std::uint64_t val = nextRand(rng);
+                const bool f = flat.insert_or_assign(key, val).second;
+                const bool r =
+                    ref.insert_or_assign(key, val).second;
+                ASSERT_EQ(f, r);
+                break;
+              }
+              case 4:
+              case 5: { // erase
+                ASSERT_EQ(flat.erase(key), ref.erase(key) == 1);
+                break;
+              }
+              case 6: { // find
+                const auto f = flat.find(key);
+                const auto r = ref.find(key);
+                ASSERT_EQ(f != flat.end(), r != ref.end());
+                if (r != ref.end()) {
+                    ASSERT_EQ(f->second, r->second);
+                }
+                break;
+              }
+              case 7: { // operator[] increment
+                const std::uint64_t f = ++flat[key];
+                const std::uint64_t r = ++ref[key];
+                ASSERT_EQ(f, r);
+                break;
+              }
+            }
+        }
+        checkConsistent();
+        if (round == 9) { // mid-history reset
+            flat.clear();
+            ref.clear();
+        }
+    }
+}
+
+TEST(FlatMap, DifferentialUnderDegenerateHash)
+{
+    // Same history discipline, but with a hash bad enough that the
+    // whole table is a handful of giant clusters — every insert and
+    // erase exercises displacement and backward shift.
+    FlatMap<std::uint64_t, std::uint64_t, Mod4Hash> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    std::uint64_t rng = 0xdeadbeefcafef00dull;
+    for (int op = 0; op < 20000; ++op) {
+        const std::uint64_t key = nextRand(rng) % 128;
+        if (nextRand(rng) % 2) {
+            const std::uint64_t val = nextRand(rng);
+            ASSERT_EQ(flat.insert_or_assign(key, val).second,
+                      ref.insert_or_assign(key, val).second);
+        } else {
+            ASSERT_EQ(flat.erase(key), ref.erase(key) == 1);
+        }
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+    for (const auto &[k, v] : ref)
+        ASSERT_EQ(flat.at(k), v);
+}
+
+} // namespace
