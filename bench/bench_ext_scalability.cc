@@ -1,87 +1,349 @@
 /**
  * @file
- * Extension bench: the section 6.4 scalability argument, quantified.
+ * Extension bench: scaling the macrochip beyond the paper.
  *
- * 1. WDM scaling on the 64-site macrochip: as wavelengths per
- *    waveguide improve (8 -> 16 -> 32), the photonic point-to-point
- *    network's peak bandwidth grows with a *constant* waveguide
- *    count — while an electronic full mesh needs a wire per bit of
- *    every link.
- * 2. Grid scaling (4x4 -> 8x8 -> 16x16 sites) at a constant 2-lambda
- *    channel width, including the full-scale section 3 system.
+ * Sweeps the R x C grid through 8x8 -> 16x16 -> 24x24 (the Table 4
+ * system and two "what if the 2015 vision kept growing" points) for
+ * all six networks — the paper's five architectures plus the
+ * hierarchical hermes broadcast network. Every (grid, network) point
+ * first passes the photonic feasibility gate: the worst-case link's
+ * required launch power is checked against the waveguide-nonlinearity
+ * ceiling (photonics/link_budget). Feasible points run the open-loop
+ * uniform-traffic injector and report simulated latency, delivered
+ * throughput and network energy alongside the analytic laser power;
+ * infeasible points report the verdict and the analytic numbers only
+ * — no amount of laser power closes those links, so simulating them
+ * would manufacture results for unbuildable hardware.
+ *
+ * Also retained from the original section 6.4 bench: the WDM-scaling
+ * table showing point-to-point bandwidth growing at constant
+ * waveguide count.
+ *
+ * Flags:
+ *   --rows N --cols M   sweep a single custom grid instead
+ *   --network <slug>    one network only (tring, cswitch, pt2pt,
+ *                       lpt2pt, 2phase, hermes)
+ *   --smoke             16x16 only, short window (CI)
+ *   --jobs N, --seed N  the usual sweep knobs
+ *
+ * A full (non-smoke) run pins the table in BENCH_scaling.json.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "harness.hh"
 #include "net/analysis.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sweep.hh"
+#include "workloads/packet_injector.hh"
 
 using namespace macrosim;
+using namespace macrosim::bench;
 
 namespace
 {
 
-void
-printRows(const std::vector<ScalingPoint> &rows)
+struct GridSpec
 {
-    for (const auto &r : rows) {
-        std::printf("  %-24s %9.1f %10llu %10llu %12.2f %10.1f "
-                    "%9.1f%%\n",
-                    r.network.c_str(), r.peakTBs,
-                    static_cast<unsigned long long>(
-                        r.counts.waveguides),
-                    static_cast<unsigned long long>(
-                        r.counts.opticalSwitches),
-                    r.waveguidesPerTBs(), r.laserWatts,
-                    r.substrateFraction() * 100.0);
+    std::uint32_t rows = 8;
+    std::uint32_t cols = 8;
+};
+
+struct Point
+{
+    GridSpec grid;
+    NetId id = NetId::PointToPoint;
+    LinkFeasibility feas;
+    double laserW = 0.0;
+    double staticW = 0.0;
+    bool simulated = false;
+    InjectorResult traffic;
+    double energyMj = 0.0;
+};
+
+Point
+runPoint(GridSpec grid, NetId id, std::uint64_t seed,
+         const TelemetryOptions &topt)
+{
+    const std::string label = std::to_string(grid.rows) + "x"
+        + std::to_string(grid.cols);
+    const std::uint64_t cell_seed =
+        deriveSeed(seed, "scale-" + label, netName(id));
+
+    const MacrochipConfig cfg = scaledConfig(grid.rows, grid.cols);
+    Simulator sim(cell_seed);
+    auto net = makeNetwork(id, sim, cfg);
+
+    Point p;
+    p.grid = grid;
+    p.id = id;
+    p.feas = net->feasibility();
+    p.laserW = net->laserWatts();
+    p.staticW = net->staticWatts();
+    if (!p.feas.feasible) {
+        // The gate: links this lossy cannot be closed under the
+        // launch-power ceiling, so no latency/energy numbers exist
+        // for this point.
+        return p;
     }
+
+    InjectorConfig icfg;
+    icfg.pattern = TrafficPattern::Uniform;
+    icfg.load = 0.05;
+    icfg.warmup = topt.smoke ? 250 * tickNs : 500 * tickNs;
+    icfg.window = topt.smoke ? 1000 * tickNs : 2000 * tickNs;
+    icfg.seed = cell_seed;
+    p.traffic = runOpenLoop(sim, *net, icfg);
+    p.energyMj = net->energy().totalJoules(sim.now()) * 1e3;
+    p.simulated = true;
+
+    if (simStatsEnabled())
+        dumpSimStats(netName(id) + " @ " + label, sim);
+    return p;
 }
 
-} // namespace
-
-int
-main()
+const char *
+slug(NetId id)
 {
-    std::printf("Section 6.4 extension: scalability of the "
-                "architectures\n\n");
-    std::printf("  %-24s %9s %10s %10s %12s %10s %10s\n", "network",
-                "TB/s", "waveguides", "switches", "wgs per TB/s",
-                "laser W", "area");
+    switch (id) {
+      case NetId::TokenRing: return "tring";
+      case NetId::CircuitSwitched: return "cswitch";
+      case NetId::PointToPoint: return "pt2pt";
+      case NetId::LimitedPtToPt: return "lpt2pt";
+      case NetId::TwoPhase: return "2phase";
+      case NetId::TwoPhaseAlt: return "2phase-alt";
+      case NetId::Hermes: return "hermes";
+    }
+    return "?";
+}
 
-    // --- WDM scaling, 64 sites --------------------------------------
+bool
+netFromSlug(const std::string &text, NetId &out)
+{
+    for (const NetId id : extendedNetworks) {
+        if (text == slug(id) || text == netName(id)) {
+            out = id;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Strip "--<name> <v>" / "--<name>=<v>"; @return the flag's value. */
+bool
+numberFlag(int &argc, char **argv, const char *name,
+           std::uint32_t &out)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    const std::string bare = std::string("--") + name;
+    for (int i = 1; i < argc; ++i) {
+        const char *text = nullptr;
+        int consumed = 0;
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size())
+            == 0) {
+            text = argv[i] + prefix.size();
+            consumed = 1;
+        } else if (bare == argv[i] && i + 1 < argc) {
+            text = argv[i + 1];
+            consumed = 2;
+        } else {
+            continue;
+        }
+        const long v = std::atol(text);
+        if (v <= 0)
+            fatal("bench_ext_scalability: --", name,
+                  " must be a positive integer, got '", text, "'");
+        out = static_cast<std::uint32_t>(v);
+        for (int j = i; j + consumed <= argc; ++j)
+            argv[j] = argv[j + consumed];
+        argc -= consumed;
+        return true;
+    }
+    return false;
+}
+
+bool
+textFlag(int &argc, char **argv, const char *name, std::string &out)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    const std::string bare = std::string("--") + name;
+    for (int i = 1; i < argc; ++i) {
+        int consumed = 0;
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size())
+            == 0) {
+            out = argv[i] + prefix.size();
+            consumed = 1;
+        } else if (bare == argv[i] && i + 1 < argc) {
+            out = argv[i + 1];
+            consumed = 2;
+        } else {
+            continue;
+        }
+        for (int j = i; j + consumed <= argc; ++j)
+            argv[j] = argv[j + consumed];
+        argc -= consumed;
+        return true;
+    }
+    return false;
+}
+
+void
+printWdmTable()
+{
+    std::printf("Section 6.4: WDM scaling at 64 sites (constant "
+                "point-to-point waveguides)\n");
+    std::printf("  %-24s %4s %9s %10s %12s\n", "network", "wdm",
+                "TB/s", "waveguides", "wgs per TB/s");
     for (std::uint32_t wdm : {8u, 16u, 32u}) {
         MacrochipConfig cfg = simulatedConfig();
         cfg.wavelengthsPerWaveguide = wdm;
         cfg.txPerSite = 128 * wdm / 8;
         cfg.rxPerSite = cfg.txPerSite;
-        std::printf("\n64 sites, %u wavelengths/waveguide:\n", wdm);
-        printRows(analyzeAllNetworks(cfg));
-        std::printf("  %-24s %9s %10llu wires (16-bit links)\n",
-                    "electronic full mesh", "-",
+        const auto rows = analyzeAllNetworks(cfg);
+        const auto &p2p = rows[2];
+        std::printf("  %-24s %4u %9.1f %10llu %12.2f\n",
+                    p2p.network.c_str(), wdm, p2p.peakTBs,
                     static_cast<unsigned long long>(
-                        electronicPointToPointWires(cfg.siteCount(),
-                                                    16)));
+                        p2p.counts.waveguides),
+                    p2p.waveguidesPerTBs());
+    }
+    std::printf("  %-24s %4s %9s %10llu wires (16-bit links)\n",
+                "electronic full mesh", "-", "-",
+                static_cast<unsigned long long>(
+                    electronicPointToPointWires(64, 16)));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::size_t jobs = jobsArg(argc, argv);
+    simStatsArg(argc, argv);
+    const std::uint64_t seed = seedArg(argc, argv, 1);
+
+    std::uint32_t rows_flag = 0;
+    std::uint32_t cols_flag = 0;
+    const bool have_rows = numberFlag(argc, argv, "rows", rows_flag);
+    const bool have_cols = numberFlag(argc, argv, "cols", cols_flag);
+    std::string net_flag;
+    const bool have_net = textFlag(argc, argv, "network", net_flag);
+    const TelemetryOptions topt = telemetryArgs(argc, argv);
+
+    std::vector<GridSpec> grids = {{8, 8}, {16, 16}, {24, 24}};
+    if (topt.smoke)
+        grids = {{16, 16}};
+    if (have_rows || have_cols) {
+        GridSpec g;
+        g.rows = have_rows ? rows_flag : 8;
+        g.cols = have_cols ? cols_flag : g.rows;
+        grids = {g};
     }
 
-    // --- Grid scaling -------------------------------------------------
-    for (std::uint32_t dim : {4u, 8u, 16u}) {
-        MacrochipConfig cfg = simulatedConfig();
-        cfg.rows = dim;
-        cfg.cols = dim;
-        cfg.txPerSite = 2 * dim * dim; // 2 lambdas per destination
-        cfg.rxPerSite = cfg.txPerSite;
-        std::printf("\n%ux%u sites, %u Tx/site:\n", dim, dim,
-                    cfg.txPerSite);
-        printRows(analyzeAllNetworks(cfg));
-        std::printf("  %-24s %9s %10llu wires (16-bit links)\n",
-                    "electronic full mesh", "-",
-                    static_cast<unsigned long long>(
-                        electronicPointToPointWires(cfg.siteCount(),
-                                                    16)));
+    std::vector<NetId> nets(extendedNetworks.begin(),
+                            extendedNetworks.end());
+    if (have_net) {
+        NetId only;
+        if (!netFromSlug(net_flag, only))
+            fatal("bench_ext_scalability: unknown --network '",
+                  net_flag, "' (try tring, cswitch, pt2pt, lpt2pt, "
+                  "2phase, hermes)");
+        nets = {only};
     }
 
-    // --- The full-scale 2015 target ------------------------------------
-    std::printf("\nFull-scale section 3 system (64 cores/site, "
-                "1024 Tx/site, 16-way WDM):\n");
-    printRows(analyzeAllNetworks(fullScaleConfig()));
+    printWdmTable();
+
+    std::printf("\nGrid scaling with the feasibility gate "
+                "(uniform traffic @ 5%% load)\n\n");
+    std::printf("grid,network,feasible,loss_db,required_launch_dbm,"
+                "margin_db,laser_w,static_w,mean_ns,p99_ns,"
+                "delivered_pct,energy_mj\n");
+
+    std::vector<SweepJob<Point>> sweep;
+    for (const GridSpec grid : grids) {
+        for (const NetId id : nets) {
+            sweep.push_back(SweepJob<Point>{
+                netName(id) + " @ " + std::to_string(grid.rows) + "x"
+                    + std::to_string(grid.cols),
+                [grid, id, seed, &topt] {
+                    return runPoint(grid, id, seed, topt);
+                }});
+        }
+    }
+
+    const std::vector<Point> points =
+        SweepRunner(jobs).run("scalability", std::move(sweep));
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"scaling\",\n  \"points\": [\n";
+    bool first = true;
+    for (const Point &p : points) {
+        char line[256];
+        if (p.simulated) {
+            std::snprintf(line, sizeof(line),
+                          "%ux%u,%s,yes,%.2f,%.2f,%.2f,%.1f,%.1f,"
+                          "%.1f,%.1f,%.2f,%.3f\n",
+                          p.grid.rows, p.grid.cols,
+                          netName(p.id).c_str(),
+                          p.feas.totalLoss.value(),
+                          p.feas.requiredLaunch.value(),
+                          p.feas.margin.value(), p.laserW, p.staticW,
+                          p.traffic.meanLatencyNs,
+                          p.traffic.p99LatencyNs,
+                          p.traffic.deliveredPct, p.energyMj);
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "%ux%u,%s,infeasible,%.2f,%.2f,%.2f,%.1f,"
+                          "%.1f,-,-,-,-\n",
+                          p.grid.rows, p.grid.cols,
+                          netName(p.id).c_str(),
+                          p.feas.totalLoss.value(),
+                          p.feas.requiredLaunch.value(),
+                          p.feas.margin.value(), p.laserW,
+                          p.staticW);
+        }
+        std::fputs(line, stdout);
+
+        char entry[512];
+        std::snprintf(entry, sizeof(entry),
+                      "    {\"grid\": \"%ux%u\", \"network\": "
+                      "\"%s\", \"feasible\": %s, \"loss_db\": %.2f, "
+                      "\"required_launch_dbm\": %.2f, \"margin_db\": "
+                      "%.2f, \"laser_w\": %.1f, \"mean_ns\": %s, "
+                      "\"p99_ns\": %s, \"delivered_pct\": %s, "
+                      "\"energy_mj\": %s}",
+                      p.grid.rows, p.grid.cols,
+                      netName(p.id).c_str(),
+                      p.feas.feasible ? "true" : "false",
+                      p.feas.totalLoss.value(),
+                      p.feas.requiredLaunch.value(),
+                      p.feas.margin.value(), p.laserW,
+                      p.simulated
+                          ? std::to_string(p.traffic.meanLatencyNs)
+                                .c_str()
+                          : "null",
+                      p.simulated
+                          ? std::to_string(p.traffic.p99LatencyNs)
+                                .c_str()
+                          : "null",
+                      p.simulated
+                          ? std::to_string(p.traffic.deliveredPct)
+                                .c_str()
+                          : "null",
+                      p.simulated ? std::to_string(p.energyMj).c_str()
+                                  : "null");
+        json << (first ? "" : ",\n") << entry;
+        first = false;
+    }
+    json << "\n  ]\n}\n";
+
+    if (!topt.smoke && !have_net && !have_rows && !have_cols)
+        writeTextFile("BENCH_scaling.json", json.str());
     return 0;
 }

@@ -128,7 +128,7 @@ main(int argc, char **argv)
 
     std::vector<SweepJob<Cell>> sweep;
     for (const std::uint32_t faults : rates) {
-        for (const NetId id : fig6Networks) {
+        for (const NetId id : extendedNetworks) {
             sweep.push_back(SweepJob<Cell>{
                 netName(id) + " @ " + std::to_string(faults)
                     + " faults",

@@ -28,6 +28,7 @@ netName(NetId id)
       case NetId::LimitedPtToPt: return "Limited Point-to-Point";
       case NetId::TwoPhase: return "2-Phase Arb.";
       case NetId::TwoPhaseAlt: return "2-Phase Arb. ALT";
+      case NetId::Hermes: return "Hermes";
     }
     return "?";
 }
@@ -49,6 +50,8 @@ makeNetwork(NetId id, Simulator &sim, const MacrochipConfig &cfg)
       case NetId::TwoPhaseAlt:
         return std::make_unique<TwoPhaseArbitratedNetwork>(sim, cfg,
                                                            true);
+      case NetId::Hermes:
+        return std::make_unique<HermesNetwork>(sim, cfg);
     }
     panic("makeNetwork: bad id");
 }

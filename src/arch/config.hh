@@ -65,12 +65,54 @@ struct MacrochipConfig
      *  fiber connections carry off-macrochip memory traffic). */
     std::uint32_t memoryPortsPerSite = 4;
 
+    /**
+     * Total fiber memory channels on the macrochip; 0 (the default)
+     * means the uniform siteCount() x memoryPortsPerSite placement of
+     * Table 4. A non-zero total models a fixed edge-fiber budget that
+     * need not divide the site count: memoryPortsAt() spreads it so
+     * no two sites differ by more than one port.
+     */
+    std::uint32_t memoryPortsTotal = 0;
+
     /** Bandwidth of one fiber memory channel, bytes/ns (8 lambdas
      *  at 20 Gb/s = 20 GB/s). */
     double memoryPortBytesPerNs = 20.0;
 
     std::uint32_t siteCount() const { return rows * cols; }
     std::uint32_t coreCount() const { return siteCount() * coresPerSite; }
+
+    /** Fiber memory channels on the whole macrochip. */
+    std::uint32_t
+    memoryPortCount() const
+    {
+        return memoryPortsTotal != 0
+            ? memoryPortsTotal
+            : siteCount() * memoryPortsPerSite;
+    }
+
+    /**
+     * Fiber memory channels homed at @p site under the balanced
+     * placement: every site gets total/sites ports and the first
+     * total%sites sites carry the remainder, so per-site counts never
+     * differ by more than one.
+     */
+    std::uint32_t
+    memoryPortsAt(SiteId site) const
+    {
+        const std::uint32_t n = siteCount();
+        const std::uint32_t total = memoryPortCount();
+        return total / n + (site < total % n ? 1 : 0);
+    }
+
+    /** Index of @p site's first port in the flattened port array. */
+    std::uint32_t
+    memoryPortBase(SiteId site) const
+    {
+        const std::uint32_t n = siteCount();
+        const std::uint32_t total = memoryPortCount();
+        const std::uint32_t rem = total % n;
+        return site * (total / n) + (site < rem ? site : rem);
+    }
 
     /** Per-site injection bandwidth in bytes/ns (Table 4: 320). */
     double
@@ -101,6 +143,27 @@ inline MacrochipConfig
 simulatedConfig()
 {
     return MacrochipConfig{};
+}
+
+/**
+ * The Table 4 system re-scaled to an arbitrary R x C site grid by
+ * the paper's own provisioning rule: two wavelengths (5 GB/s) per
+ * ordered destination site, so txPerSite = 2 x sites. At 8x8 this
+ * is exactly simulatedConfig() (128 Tx/site, 320 GB/s/site); larger
+ * grids keep the per-destination bandwidth of Table 4 while the
+ * scaling studies vary rows and cols. All other Table 4 knobs
+ * (cores/site, L2, WDM degree, clock, pitch) are inherited and may
+ * be overridden afterwards.
+ */
+inline MacrochipConfig
+scaledConfig(std::uint32_t rows, std::uint32_t cols)
+{
+    MacrochipConfig c;
+    c.rows = rows;
+    c.cols = cols;
+    c.txPerSite = 2 * rows * cols;
+    c.rxPerSite = c.txPerSite;
+    return c;
 }
 
 /** The full-scale 2015 target of section 3. */

@@ -8,12 +8,16 @@ SiteSet::members() const
 {
     std::vector<SiteId> out;
     out.reserve(count());
-    std::uint64_t b = bits_;
-    while (b != 0) {
-        const int idx = __builtin_ctzll(b);
-        out.push_back(static_cast<SiteId>(idx));
-        b &= b - 1;
-    }
+    const auto drain = [&out](std::uint64_t word, SiteId base) {
+        while (word != 0) {
+            const int idx = __builtin_ctzll(word);
+            out.push_back(base + static_cast<SiteId>(idx));
+            word &= word - 1;
+        }
+    };
+    drain(low_, 0);
+    for (std::size_t w = 0; w < ext_.size(); ++w)
+        drain(ext_[w], static_cast<SiteId>((w + 1) * bitsPerWord));
     return out;
 }
 

@@ -12,6 +12,7 @@
 #ifndef MACROSIM_ARCH_DIRECTORY_HH
 #define MACROSIM_ARCH_DIRECTORY_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -23,32 +24,113 @@
 namespace macrosim
 {
 
-/** Compact set of sites (sharers), up to 64 sites. */
+/**
+ * Compact set of sites (sharers) for an arbitrary R x C grid. The
+ * first 64 sites live in one inline word — the whole paper-scale
+ * (8x8) macrochip fits there, so directory entries on the Table 4
+ * configuration stay allocation-free (the PR 5 hot-path contract).
+ * Larger grids (16x16, 24x24 scaling studies) spill sites >= 64 into
+ * an overflow word vector that grows on first touch and keeps its
+ * capacity across clear(), so pooled coherence records still reuse
+ * their storage in steady state.
+ */
 class SiteSet
 {
   public:
-    void add(SiteId s) { bits_ |= (std::uint64_t{1} << s); }
-    void remove(SiteId s) { bits_ &= ~(std::uint64_t{1} << s); }
-    bool contains(SiteId s) const
+    void
+    add(SiteId s)
     {
-        return (bits_ >> s) & 1;
+        if (s < bitsPerWord) {
+            low_ |= (std::uint64_t{1} << s);
+            return;
+        }
+        const std::size_t w = s / bitsPerWord - 1;
+        if (w >= ext_.size())
+            ext_.resize(w + 1, 0);
+        ext_[w] |= (std::uint64_t{1} << (s % bitsPerWord));
     }
-    void clear() { bits_ = 0; }
-    bool empty() const { return bits_ == 0; }
+
+    void
+    remove(SiteId s)
+    {
+        if (s < bitsPerWord) {
+            low_ &= ~(std::uint64_t{1} << s);
+            return;
+        }
+        const std::size_t w = s / bitsPerWord - 1;
+        if (w < ext_.size())
+            ext_[w] &= ~(std::uint64_t{1} << (s % bitsPerWord));
+    }
+
+    bool
+    contains(SiteId s) const
+    {
+        if (s < bitsPerWord)
+            return (low_ >> s) & 1;
+        const std::size_t w = s / bitsPerWord - 1;
+        return w < ext_.size()
+            && ((ext_[w] >> (s % bitsPerWord)) & 1);
+    }
+
+    /** Empty the set; overflow capacity is kept for reuse. */
+    void
+    clear()
+    {
+        low_ = 0;
+        for (std::uint64_t &w : ext_)
+            w = 0;
+    }
+
+    bool
+    empty() const
+    {
+        if (low_ != 0)
+            return false;
+        for (const std::uint64_t w : ext_)
+            if (w != 0)
+                return false;
+        return true;
+    }
+
     std::uint32_t
     count() const
     {
-        return static_cast<std::uint32_t>(__builtin_popcountll(bits_));
+        std::uint32_t n = static_cast<std::uint32_t>(
+            __builtin_popcountll(low_));
+        for (const std::uint64_t w : ext_)
+            n += static_cast<std::uint32_t>(__builtin_popcountll(w));
+        return n;
     }
-    std::uint64_t raw() const { return bits_; }
+
+    /** The low 64 sites as a bitmask (paper-scale fast path). */
+    std::uint64_t raw() const { return low_; }
 
     /** Enumerate members in ascending site order. */
     std::vector<SiteId> members() const;
 
-    bool operator==(const SiteSet &) const = default;
+    /** Value equality; an all-zero overflow equals no overflow. */
+    bool
+    operator==(const SiteSet &o) const
+    {
+        if (low_ != o.low_)
+            return false;
+        const std::size_t n = std::max(ext_.size(), o.ext_.size());
+        for (std::size_t w = 0; w < n; ++w) {
+            const std::uint64_t a = w < ext_.size() ? ext_[w] : 0;
+            const std::uint64_t b = w < o.ext_.size() ? o.ext_[w] : 0;
+            if (a != b)
+                return false;
+        }
+        return true;
+    }
 
   private:
-    std::uint64_t bits_ = 0;
+    static constexpr std::uint32_t bitsPerWord = 64;
+
+    std::uint64_t low_ = 0;
+    /** Words for sites [64, 128), [128, 192), ... — empty on the
+     *  paper-scale grid. */
+    std::vector<std::uint64_t> ext_;
 };
 
 /** Directory-side state of one line. */

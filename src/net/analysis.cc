@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/circuit_switched.hh"
+#include "net/hermes.hh"
 #include "net/limited_pt2pt.hh"
 #include "net/pt2pt.hh"
 #include "net/token_ring.hh"
@@ -28,6 +29,7 @@ analyzeAllNetworks(const MacrochipConfig &cfg)
         p.peakTBs = cfg.peakBandwidthTBs();
         p.counts = net.componentCounts();
         p.laserWatts = net.laserWatts();
+        p.feasibility = net.feasibility();
         p.chipEdgeCm = cfg.sitePitchCm
             * static_cast<double>(std::max(cfg.rows, cfg.cols));
         rows.push_back(std::move(p));
@@ -39,6 +41,7 @@ analyzeAllNetworks(const MacrochipConfig &cfg)
     add(LimitedPointToPointNetwork(sim, cfg));
     add(TwoPhaseArbitratedNetwork(sim, cfg));
     add(TwoPhaseArbitratedNetwork(sim, cfg, true));
+    add(HermesNetwork(sim, cfg));
     return rows;
 }
 

@@ -43,6 +43,8 @@ struct ScalingPoint
     double laserWatts = 0.0;
     /** Macrochip edge length (sites x pitch), cm. */
     double chipEdgeCm = 0.0;
+    /** Worst-case-link verdict under the launch-power ceiling. */
+    LinkFeasibility feasibility;
 
     /** Waveguides per TB/s of peak bandwidth (lower is better). */
     double

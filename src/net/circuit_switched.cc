@@ -313,12 +313,19 @@ CircuitSwitchedTorus::componentCounts() const
 std::vector<LaserPowerSpec>
 CircuitSwitchedTorus::opticalPower() const
 {
-    // Worst-case path: 31 hops through 4x4 switches at an aggressive
-    // 0.5 dB each, approximately 15 dB -> the paper budgets a 30x
-    // laser power increase (Table 5: 245 W).
+    // Worst-case path: 2 x (rows + cols) - 1 hops through 4x4
+    // switches at an aggressive 0.5 dB each — 31 hops / ~15 dB on
+    // the 8x8 grid, where the paper budgets a 30x laser power
+    // increase (Table 5: 245 W). Larger grids scale the budget by
+    // the extra switch loss in dB, anchored so 8x8 reproduces the
+    // paper's 30x exactly.
     const std::uint64_t lambdas = static_cast<std::uint64_t>(
         config().siteCount()) * config().txPerSite;
-    return {LaserPowerSpec{"Circuit-Switched", lambdas, 30.0}};
+    const double hops =
+        2.0 * (config().rows + config().cols) - 1.0;
+    const double loss_factor = 30.0
+        * lossFactorFromExtraLoss(Decibel(0.5 * (hops - 31.0)));
+    return {LaserPowerSpec{"Circuit-Switched", lambdas, loss_factor}};
 }
 
 } // namespace macrosim

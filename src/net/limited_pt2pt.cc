@@ -8,7 +8,7 @@ namespace macrosim
 LimitedPointToPointNetwork::LimitedPointToPointNetwork(
         Simulator &sim, const MacrochipConfig &config)
     : Network(sim, config),
-      lambdas_(8),
+      lambdas_(config.wavelengthsPerWaveguide),
       interfaceOverhead_(config.clockPeriod),
       routerLatency_(config.clockPeriod),
       failedRouters_(config.siteCount(), false)

@@ -1,5 +1,7 @@
 #include "net/network.hh"
 
+#include <algorithm>
+
 #include "photonics/link_budget.hh"
 #include "sim/logging.hh"
 
@@ -85,6 +87,23 @@ Network::laserWatts() const
     for (const auto &spec : opticalPower())
         watts += spec.watts();
     return watts;
+}
+
+OpticalPath
+Network::worstCaseLink() const
+{
+    double worst = 1.0;
+    for (const LaserPowerSpec &spec : opticalPower())
+        worst = std::max(worst, spec.lossFactor);
+    return unswitchedLinkFor(config_.rows, config_.cols,
+                             config_.sitePitchCm)
+        .deratedPath(Decibel::fromLinear(worst));
+}
+
+LinkFeasibility
+Network::feasibility() const
+{
+    return assessLink(worstCaseLink());
 }
 
 double

@@ -25,6 +25,7 @@
 #include "net/energy.hh"
 #include "net/message.hh"
 #include "photonics/laser_power.hh"
+#include "photonics/link_budget.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 
@@ -207,6 +208,22 @@ class Network
 
     /** Total laser watts across all subnetworks. */
     double laserWatts() const;
+
+    /**
+     * The worst-case link a wavelength traverses on this network at
+     * this grid size: the generalized un-switched link of the R x C
+     * geometry derated by the worst subnetwork power-loss factor
+     * (switch hops, snoop splits, ring passes). This is the path the
+     * scaling feasibility gate assesses.
+     */
+    virtual OpticalPath worstCaseLink() const;
+
+    /**
+     * Physical feasibility of worstCaseLink() under the
+     * maxLaunchPower nonlinearity ceiling. Infeasible means no
+     * amount of laser power closes the link at this scale point.
+     */
+    LinkFeasibility feasibility() const;
 
     /**
      * Total static electrical+optical power: lasers, ring tuning

@@ -1,5 +1,7 @@
 #include "net/two_phase.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace macrosim
@@ -231,10 +233,15 @@ TwoPhaseArbitratedNetwork::componentCounts() const
 
     c.transmitters = sites * config().txPerSite * (alt_ ? 2 : 1);
     c.receivers = sites * config().rxPerSite;
-    // Each shared channel is two 8-lambda waveguides, each realized
-    // as two parallel feed segments, on both its row run and its
-    // column drop: 8 waveguides per channel -> 4096 (Table 6).
-    c.waveguides = n_channels * 8;
+    // Each shared channel's lambdas fill channelLambdas / WDM-degree
+    // physical waveguides, each realized as two parallel feed
+    // segments, on both its row run and its column drop: 8 waveguides
+    // per channel at Table 4 (16 lambdas / 8 per guide x 2 x 2)
+    // -> 4096 (Table 6).
+    const std::uint64_t wg_per_channel =
+        (channelLambdas_ + config().wavelengthsPerWaveguide - 1)
+        / config().wavelengthsPerWaveguide * 2 * 2;
+    c.waveguides = n_channels * wg_per_channel;
     const std::uint64_t trees =
         sites * config().cols * (row_sites - 1) * (alt_ ? 2 : 1);
     const std::uint64_t feeds = n_channels * row_sites
@@ -262,21 +269,30 @@ TwoPhaseArbitratedNetwork::arbitrationCounts() const
 std::vector<LaserPowerSpec>
 TwoPhaseArbitratedNetwork::opticalPower() const
 {
-    // Data: worst case 7 switch hops in the base design (7 dB -> 5x)
-    // or 6 in ALT (6 dB -> 4x) with twice the wavelengths. The
-    // arbitration network's waveguides are snooped by all 8 sites of
-    // a row/column, requiring 8x input power, but carry only 128
-    // wavelengths (Table 5: ~1 W).
+    // Data: worst case cols-1 switch hops in the base design (7 at
+    // Table 4, 7 dB -> 5x) or cols-2 in ALT (the doubled feed drops
+    // one stage; 6 dB -> 4x) with twice the wavelengths. The
+    // arbitration network's waveguides are snooped by every site of
+    // a row/column, requiring max(rows, cols)x input power, but
+    // carry only 2 x sites wavelengths (Table 5: ~1 W at 8x8).
     const std::uint64_t data_lambdas = static_cast<std::uint64_t>(
         config().siteCount()) * config().txPerSite * (alt_ ? 2 : 1);
-    const double switch_hops = alt_ ? 6.0 : 7.0;
+    const std::uint32_t base_hops =
+        config().cols > 1 ? config().cols - 1 : 1;
+    const std::uint32_t alt_hops =
+        config().cols > 2 ? config().cols - 2 : 1;
+    const double switch_hops =
+        static_cast<double>(alt_ ? alt_hops : base_hops);
+    const double snoop_fanout = static_cast<double>(
+        std::max(config().rows, config().cols));
     std::vector<LaserPowerSpec> specs;
     specs.push_back(LaserPowerSpec{
         alt_ ? "Two-Phase Data (ALT)" : "Two-Phase Data",
         data_lambdas,
         lossFactorFromExtraLoss(Decibel(switch_hops * 1.0))});
     specs.push_back(LaserPowerSpec{
-        "Two-Phase Arbitration", 2 * config().siteCount(), 8.0});
+        "Two-Phase Arbitration", 2 * config().siteCount(),
+        snoop_fanout});
     return specs;
 }
 

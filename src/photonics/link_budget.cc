@@ -26,4 +26,36 @@ canonicalUnswitchedLink()
     return p;
 }
 
+OpticalPath
+unswitchedLinkFor(std::uint32_t rows, std::uint32_t cols,
+                  double site_pitch_cm)
+{
+    const std::uint32_t row_span = rows > 0 ? rows - 1 : 0;
+    const std::uint32_t col_span = cols > 0 ? cols - 1 : 0;
+    const double manhattan_cm =
+        site_pitch_cm * static_cast<double>(row_span + col_span);
+    const double passes = rows > 2 ? rows - 2 : 0;
+
+    OpticalPath p;
+    p.add(Component::Modulator)
+        .add(Component::Multiplexer)
+        .add(Component::OpxcCoupler)
+        .addGlobalWaveguide(manhattan_cm * routingDetourFactor)
+        .add(Component::OpxcCoupler)
+        .add(Component::DropFilterPass, passes)
+        .add(Component::DropFilterDrop);
+    return p;
+}
+
+LinkFeasibility
+assessLink(const OpticalPath &path, PowerDbm max_launch)
+{
+    LinkFeasibility f;
+    f.totalLoss = path.totalLoss();
+    f.requiredLaunch = receiverSensitivity + f.totalLoss;
+    f.margin = max_launch - f.requiredLaunch;
+    f.feasible = f.margin.value() >= 0.0;
+    return f;
+}
+
 } // namespace macrosim

@@ -12,6 +12,7 @@
 #ifndef MACROSIM_PHOTONICS_LINK_BUDGET_HH
 #define MACROSIM_PHOTONICS_LINK_BUDGET_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "photonics/components.hh"
@@ -138,6 +139,52 @@ constexpr Decibel worstCaseWaveguideLoss{6.0};
 
 /** The canonical link-loss budget every network is engineered to. */
 constexpr Decibel unswitchedLinkBudget{17.0};
+
+/**
+ * Maximum per-wavelength launch power before two-photon absorption
+ * and carrier nonlinearity in the silicon waveguide eat the extra
+ * power instead of delivering it (the scaling ceiling the Al-Qadasi
+ * survey identifies): ~20 mW, i.e. 13 dBm. A link whose loss demands
+ * more launch than this cannot be closed by turning the laser up —
+ * the scale point is physically infeasible.
+ */
+constexpr PowerDbm maxLaunchPower{13.0};
+
+/**
+ * The routing-substrate detour factor implied by section 2: the
+ * canonical worst-case route is 60 cm of global waveguide while the
+ * worst-case Manhattan distance on the 8x8 / 2.5 cm grid is only
+ * 35 cm. Scaled grids keep that ratio, so unswitchedLinkFor(8, 8)
+ * is the canonical 17 dB link exactly.
+ */
+constexpr double routingDetourFactor = 60.0 / 35.0;
+
+/**
+ * The canonical un-switched link generalized to an R x C grid:
+ * worst-case Manhattan route times the detour factor of global
+ * waveguide, and rows-2 non-selected drop-filter passes (the other
+ * sites in the destination column). Identical to
+ * canonicalUnswitchedLink() at rows = cols = 8, pitch = 2.5.
+ */
+OpticalPath unswitchedLinkFor(std::uint32_t rows, std::uint32_t cols,
+                              double site_pitch_cm = 2.5);
+
+/** Physical verdict on one worst-case link at a scale point. */
+struct LinkFeasibility
+{
+    /** Total insertion loss of the assessed path. */
+    Decibel totalLoss{0.0};
+    /** Launch power needed to hit sensitivity exactly. */
+    PowerDbm requiredLaunch{0.0};
+    /** Headroom below the nonlinearity ceiling (negative = fails). */
+    Decibel margin{0.0};
+    /** True when requiredLaunch fits under the ceiling. */
+    bool feasible = false;
+};
+
+/** Assess @p path against the launch-power ceiling. */
+LinkFeasibility assessLink(const OpticalPath &path,
+                           PowerDbm max_launch = maxLaunchPower);
 
 } // namespace macrosim
 

@@ -12,7 +12,6 @@ CoherenceEngine::CoherenceEngine(Simulator &sim, Network &net,
     : sim_(sim), net_(net), directoryMode_(directory_mode),
       directoryLatency_(net.config().directoryLatency),
       memoryLatency_(net.config().memoryLatency),
-      memoryPorts_(net.config().memoryPortsPerSite),
       lineBytes_(net.config().cacheLineBytes)
 {
     const auto sites = net_.config().siteCount();
@@ -21,8 +20,7 @@ CoherenceEngine::CoherenceEngine(Simulator &sim, Network &net,
     memoryOccupancy_ = nsToTicks(
         static_cast<double>(lineBytes_)
         / net_.config().memoryPortBytesPerNs);
-    memoryChannels_.resize(static_cast<std::size_t>(sites)
-                           * memoryPorts_);
+    memoryChannels_.resize(net_.config().memoryPortCount());
     // Reserve the hot-path tables up front so steady-state traffic
     // never rehashes (see flat_map.hh's contract).
     txns_.reserve(1024);
@@ -383,19 +381,27 @@ void
 CoherenceEngine::replyFromMemory(SiteId home, SiteId requester,
                                  TxnId txn)
 {
-    // Claim the least-loaded of the home's fiber memory channels,
-    // then pay the flat access latency on top of the transfer slot.
-    const std::size_t base =
-        static_cast<std::size_t>(home) * memoryPorts_;
-    std::size_t port = base;
-    for (std::size_t p = base + 1; p < base + memoryPorts_; ++p) {
-        if (memoryChannels_[p].busyUntil()
-            < memoryChannels_[port].busyUntil())
-            port = p;
+    // Claim the least-loaded of the home's fiber memory channels
+    // (balanced placement: memoryPortsAt() ports starting at
+    // memoryPortBase()), then pay the flat access latency on top of
+    // the transfer slot. A home with no port of its own — possible
+    // when a fixed edge-fiber budget is spread over more sites than
+    // ports — pays only the flat latency, modelling a remote
+    // edge-fiber reached over already-simulated network hops.
+    const std::uint32_t ports = net_.config().memoryPortsAt(home);
+    Tick data_ready = sim_.now() + memoryLatency_;
+    if (ports > 0) {
+        const std::size_t base = net_.config().memoryPortBase(home);
+        std::size_t port = base;
+        for (std::size_t p = base + 1; p < base + ports; ++p) {
+            if (memoryChannels_[p].busyUntil()
+                < memoryChannels_[port].busyUntil())
+                port = p;
+        }
+        const Tick start = memoryChannels_[port].reserve(
+            sim_.now(), memoryOccupancy_);
+        data_ready = start + memoryOccupancy_ + memoryLatency_;
     }
-    const Tick start = memoryChannels_[port].reserve(
-        sim_.now(), memoryOccupancy_);
-    const Tick data_ready = start + memoryOccupancy_ + memoryLatency_;
     sim_.events().schedule(data_ready, [this, home, requester, txn] {
         send(home, requester, CoherenceMsg::Data, dataMessageBytes,
              txn);

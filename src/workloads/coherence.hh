@@ -255,7 +255,6 @@ class CoherenceEngine
     Tick directoryLatency_;
     Tick memoryLatency_;
     Tick memoryOccupancy_;
-    std::uint32_t memoryPorts_;
 
     /** The live record for @p id, or nullptr if it already retired. */
     Txn *findTxn(TxnId id);
@@ -267,7 +266,8 @@ class CoherenceEngine
      *  the pool is a deque — but may be re-issued immediately). */
     void releaseTxn(TxnId id);
     std::uint32_t lineBytes_;
-    /** memoryPorts_ BusyResources per site, flattened. */
+    /** One BusyResource per fiber memory channel, flattened in the
+     *  config's balanced-placement order (memoryPortBase()). */
     std::vector<BusyResource> memoryChannels_;
 
     CoherenceResilience resilience_;

@@ -12,12 +12,15 @@ namespace
 
 using namespace macrosim;
 
-TEST(Analysis, AllSixNetworksReported)
+TEST(Analysis, AllNetworksReported)
 {
+    // The paper's five architectures (plus the ALT variant) in Table
+    // 5/6 order, then the hierarchical hermes extension.
     const auto rows = analyzeAllNetworks(simulatedConfig());
-    ASSERT_EQ(rows.size(), 6u);
+    ASSERT_EQ(rows.size(), 7u);
     EXPECT_EQ(rows[0].network, "Token Ring");
     EXPECT_EQ(rows[2].network, "Point-to-Point");
+    EXPECT_EQ(rows[6].network, "Hermes");
     for (const auto &r : rows) {
         EXPECT_EQ(r.sites, 64u);
         EXPECT_GT(r.peakTBs, 20.0);
@@ -111,7 +114,8 @@ TEST(Analysis, SwitchlessNetworksStaySwitchless)
 {
     for (const auto &r : analyzeAllNetworks(simulatedConfig())) {
         if (r.network == "Point-to-Point"
-            || r.network == "Token Ring") {
+            || r.network == "Token Ring"
+            || r.network == "Hermes") {
             EXPECT_EQ(r.counts.opticalSwitches, 0u) << r.network;
         }
     }

@@ -10,8 +10,11 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <utility>
 
 #include "harness.hh"
+#include "sim/random.hh"
+#include "workloads/packet_injector.hh"
 
 namespace
 {
@@ -87,6 +90,122 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return name;
     });
+
+/**
+ * The hermes extension's 8x8 row, pinned like the paper networks:
+ * 64 members x 256 ring lambdas + 12 bridges x 16 lambdas, one
+ * electronic router per gateway, and a laser budget paying the
+ * 13.6 dB cluster broadcast loss on the ring wavelengths only.
+ */
+TEST(GoldenTablesExtra, HermesCountsAndPower)
+{
+    Simulator sim;
+    const auto net =
+        makeNetwork(NetId::Hermes, sim, simulatedConfig());
+    const ComponentCounts c = net->componentCounts();
+    EXPECT_EQ(c.transmitters, 16576u);
+    EXPECT_EQ(c.receivers, 16576u);
+    EXPECT_EQ(c.waveguides, 280u);
+    EXPECT_EQ(c.opticalSwitches, 0u);
+    EXPECT_EQ(c.electronicRouters, 4u);
+    EXPECT_NEAR(net->laserWatts(), 23.874085, 1e-4);
+    EXPECT_NEAR(net->staticWatts(), 27.189285, 1e-4);
+}
+
+/**
+ * 16x16 mini-golden: the generalized descriptors at the scaling
+ * study's middle point, pinned for all six networks. The infeasible
+ * verdicts are part of the golden surface — they are what the
+ * scaling study reports instead of simulated numbers.
+ */
+struct ScaledGoldenRow
+{
+    NetId id;
+    std::uint64_t transmitters;
+    std::uint64_t waveguides;
+    std::uint64_t opticalSwitches;
+    std::uint64_t electronicRouters;
+    double laserWatts;
+    double lossDb;
+    bool feasible;
+};
+
+const ScaledGoldenRow scaledGoldenRows[] = {
+    {NetId::TokenRing, 33554432, 524288, 0, 0,
+     17278654.723607, 75.857143, false},
+    {NetId::CircuitSwitched, 131072, 32768, 4096, 0,
+     156542.109176, 55.428355, false},
+    {NetId::PointToPoint, 131072, 49152, 0, 0,
+     131.072000, 24.657143, true},
+    {NetId::LimitedPtToPt, 131072, 49152, 0, 512,
+     131.072000, 24.657143, true},
+    {NetId::TwoPhase, 131072, 32768, 258048, 0,
+     4153.052575, 39.657143, false},
+    {NetId::Hermes, 69376, 1504, 0, 16,
+     98.568341, 26.812628, true},
+};
+
+class ScaledGoldenTables
+    : public ::testing::TestWithParam<ScaledGoldenRow>
+{};
+
+TEST_P(ScaledGoldenTables, SixteenBySixteenDescriptors)
+{
+    const ScaledGoldenRow &row = GetParam();
+    Simulator sim;
+    const auto net = makeNetwork(row.id, sim, scaledConfig(16, 16));
+    const ComponentCounts c = net->componentCounts();
+    EXPECT_EQ(c.transmitters, row.transmitters);
+    EXPECT_EQ(c.waveguides, row.waveguides);
+    EXPECT_EQ(c.opticalSwitches, row.opticalSwitches);
+    EXPECT_EQ(c.electronicRouters, row.electronicRouters);
+    EXPECT_NEAR(net->laserWatts(), row.laserWatts, 1e-3);
+    const LinkFeasibility f = net->feasibility();
+    EXPECT_NEAR(f.totalLoss.value(), row.lossDb, 1e-4);
+    EXPECT_EQ(f.feasible, row.feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SixNetworks, ScaledGoldenTables,
+    ::testing::ValuesIn(scaledGoldenRows),
+    [](const ::testing::TestParamInfo<ScaledGoldenRow> &row_info) {
+        std::string name = netName(row_info.param.id);
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+/**
+ * Seeded 16x16 workload determinism: one open-loop uniform cell per
+ * network, run twice with the sweep's seed derivation — identical
+ * results, so the scaling study is bit-reproducible at any --jobs.
+ */
+TEST(GoldenTablesExtra, SixteenBySixteenWorkloadIsDeterministic)
+{
+    const MacrochipConfig cfg = scaledConfig(16, 16);
+    for (const NetId id : extendedNetworks) {
+        auto run = [&](int) {
+            const std::uint64_t seed =
+                deriveSeed(1, "scale-16x16", netName(id));
+            Simulator sim(seed);
+            auto net = makeNetwork(id, sim, cfg);
+            InjectorConfig icfg;
+            icfg.pattern = TrafficPattern::Uniform;
+            icfg.load = 0.02;
+            icfg.warmup = 100 * tickNs;
+            icfg.window = 400 * tickNs;
+            icfg.seed = seed;
+            const InjectorResult r = runOpenLoop(sim, *net, icfg);
+            return std::pair(r.measuredPackets, r.meanLatencyNs);
+        };
+        const auto a = run(0);
+        const auto b = run(1);
+        EXPECT_GT(a.first, 0u) << netName(id);
+        EXPECT_EQ(a.first, b.first) << netName(id);
+        EXPECT_DOUBLE_EQ(a.second, b.second) << netName(id);
+    }
+}
 
 /** The arbitration subnetwork gets its own Table 6 row. */
 TEST(GoldenTablesExtra, TwoPhaseArbitrationCounts)

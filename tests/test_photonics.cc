@@ -127,6 +127,76 @@ TEST(LinkBudget, LossFactorBeyondBudget)
     EXPECT_NEAR(p.lossFactorBeyond(unswitchedLinkBudget), 5.01, 0.01);
 }
 
+TEST(LinkBudget, GeneralizedLinkAnchorsToTheCanonicalBudget)
+{
+    // The R x C worst-case link at the paper's 8x8 grid is exactly
+    // the section 2 canonical 17 dB link: same fixed components,
+    // 60 cm global waveguide (35 cm Manhattan x the routing detour),
+    // six drop-filter passes.
+    EXPECT_NEAR(unswitchedLinkFor(8, 8).totalLoss().value(),
+                unswitchedLinkBudget.value(), 1e-9);
+    EXPECT_NEAR(routingDetourFactor, 60.0 / 35.0, 1e-12);
+    // Known grown points (the scaling study's grid ladder).
+    EXPECT_NEAR(unswitchedLinkFor(16, 16).totalLoss().value(),
+                24.657143, 1e-4);
+    EXPECT_NEAR(unswitchedLinkFor(24, 24).totalLoss().value(),
+                32.314286, 1e-4);
+}
+
+TEST(LinkBudget, AssessLinkArithmetic)
+{
+    // Required launch = sensitivity + loss; margin is measured
+    // against the nonlinearity launch ceiling, not the 0 dBm source.
+    EXPECT_DOUBLE_EQ(maxLaunchPower.value(), 13.0);
+    const LinkFeasibility f = assessLink(canonicalUnswitchedLink());
+    EXPECT_NEAR(f.totalLoss.value(), 17.0, 1e-9);
+    EXPECT_NEAR(f.requiredLaunch.value(), -4.0, 1e-9);
+    EXPECT_NEAR(f.margin.value(), 17.0, 1e-9);
+    EXPECT_TRUE(f.feasible);
+    // A custom ceiling shifts only the margin.
+    const LinkFeasibility tight =
+        assessLink(canonicalUnswitchedLink(), PowerDbm(-4.0));
+    EXPECT_NEAR(tight.margin.value(), 0.0, 1e-9);
+    EXPECT_TRUE(tight.feasible); // boundary closes
+    EXPECT_FALSE(
+        assessLink(canonicalUnswitchedLink(), PowerDbm(-4.1))
+            .feasible);
+}
+
+TEST(LinkBudget, MarginGoesNegativeAtScale)
+{
+    // The Al-Qadasi-style ceiling argument: un-switched links still
+    // close (barely) at 24x24, but any loss that grows with the site
+    // count — a flat broadcast ring's per-site taps, a torus's
+    // per-hop switches — blows through the launch ceiling well
+    // before that scale.
+    const LinkFeasibility plain = assessLink(unswitchedLinkFor(24, 24));
+    EXPECT_TRUE(plain.feasible);
+    EXPECT_NEAR(plain.margin.value(), 1.686, 0.01);
+    EXPECT_FALSE(
+        assessLink(unswitchedLinkFor(24, 24).deratedPath(Decibel(2.0)))
+            .feasible);
+
+    // Flat 576-site broadcast: 0.1 dB per tap plus the 1:576 power
+    // split is ~85 dB of extra loss — infeasible by tens of dB, and
+    // monotonically worse as the ring grows.
+    const double ring_extra =
+        0.1 * 576.0 + Decibel::fromLinear(576.0).value();
+    const LinkFeasibility ring = assessLink(
+        unswitchedLinkFor(24, 24).deratedPath(Decibel(ring_extra)));
+    EXPECT_FALSE(ring.feasible);
+    EXPECT_LT(ring.margin.value(), -80.0);
+    for (std::uint32_t dim = 9; dim <= 24; dim += 5) {
+        const double n = static_cast<double>(dim * dim);
+        const double extra = 0.1 * n + Decibel::fromLinear(n).value();
+        const LinkFeasibility f = assessLink(
+            unswitchedLinkFor(dim, dim).deratedPath(Decibel(extra)));
+        EXPECT_LT(f.margin.value(),
+                  assessLink(unswitchedLinkFor(dim, dim))
+                      .margin.value());
+    }
+}
+
 TEST(LaserPower, FactorFromExtraLoss)
 {
     EXPECT_DOUBLE_EQ(lossFactorFromExtraLoss(Decibel(0.0)), 1.0);
