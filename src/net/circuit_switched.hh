@@ -76,6 +76,14 @@ class CircuitSwitchedTorus : public Network
      *  intermediate hop; circuits re-select around it. */
     bool applySiteHealth(SiteId site, bool dead) override;
 
+    /** The switch fabric's configuration is one global resource —
+     *  circuit setup and teardown serialize every site. */
+    PdesPartition
+    pdesPartition() const override
+    {
+        return PdesPartition::Colocated;
+    }
+
   protected:
     void route(Message msg) override;
 

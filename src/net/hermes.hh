@@ -137,6 +137,14 @@ class HermesNetwork : public Network
     /** A dead gateway severs its cluster's bridges (not its ring). */
     bool applySiteHealth(SiteId site, bool dead) override;
 
+    /** Broadcast rings and bridge arbitration are shared by every
+     *  site in a cluster — the topology cannot split across LPs. */
+    PdesPartition
+    pdesPartition() const override
+    {
+        return PdesPartition::Colocated;
+    }
+
   protected:
     void route(Message msg) override;
 

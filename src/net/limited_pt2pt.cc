@@ -1,5 +1,7 @@
 #include "net/limited_pt2pt.hh"
 
+#include <cstring>
+
 #include "sim/logging.hh"
 
 namespace macrosim
@@ -175,11 +177,47 @@ LimitedPointToPointNetwork::route(Message msg)
     const Tick at_via = first.transmit(now() + interfaceOverhead_,
                                        msg.bytes);
     chargeOpticalHop(msg);
+    if (pdesBound()) {
+        // The second leg transmits on the forwarder's channel, which
+        // the forwarder's LP owns — ship the hop there, keyed by the
+        // packet id so same-tick hops order identically for every
+        // partition.
+        static_assert(sizeof(ForwardHop) <= pdesMaxPayload,
+                      "forward hop must fit a cross-LP event payload");
+        PdesEvent ev;
+        ev.when = at_via + interfaceOverhead_;
+        ev.key = msg.id;
+        ev.apply = &LimitedPointToPointNetwork::applyForward;
+        const ForwardHop hop{msg, via};
+        std::memcpy(ev.payload, &hop, sizeof(ForwardHop));
+        pdesRoute(via, ev, "net.lpt2pt.forward");
+        return;
+    }
     sim().events().schedule(at_via + interfaceOverhead_,
                             [this, msg, via]() mutable {
                                 forwardLeg(msg, via);
                             },
                             "net.lpt2pt.forward");
+}
+
+void
+LimitedPointToPointNetwork::applyForward(void *target,
+                                         const void *payload)
+{
+    ForwardHop hop;
+    std::memcpy(&hop, payload, sizeof(ForwardHop));
+    auto *net = static_cast<LimitedPointToPointNetwork *>(
+        static_cast<Network *>(target));
+    net->forwardLeg(hop.msg, hop.via);
+}
+
+Tick
+LimitedPointToPointNetwork::pdesLookahead() const
+{
+    // Both cross-LP event kinds — final deliveries and forward hops —
+    // pay at least E-O, one site pitch of flight plus a serialization
+    // tick, and O-E before their timestamp.
+    return Network::pdesLookahead() + 2 * interfaceOverhead_ + 1;
 }
 
 void

@@ -94,6 +94,22 @@ class LimitedPointToPointNetwork : public Network
     /** Site kill / repair toggles the site's electronic routers. */
     bool applySiteHealth(SiteId site, bool dead) override;
 
+    /**
+     * Direct channels are written only by their source site's route();
+     * a forwarded packet's second leg uses the forwarder's channel,
+     * so that leg is shipped to the forwarder's LP as a cross-LP
+     * event rather than run at the source. (Forwarder *selection*
+     * reads only static health flags — PDES runs are fault-free, so
+     * every replica's copy agrees.)
+     */
+    PdesPartition
+    pdesPartition() const override
+    {
+        return PdesPartition::BySourceSite;
+    }
+
+    Tick pdesLookahead() const override;
+
   protected:
     void route(Message msg) override;
 
@@ -105,6 +121,17 @@ class LimitedPointToPointNetwork : public Network
 
     /** Second (optical) leg of a forwarded packet. */
     void forwardLeg(Message msg, SiteId via);
+
+    /** Cross-LP forward-hop payload: the packet plus its forwarder. */
+    struct ForwardHop
+    {
+        Message msg;
+        SiteId via;
+    };
+
+    /** PdesEvent apply thunk for forward hops; target is the
+     *  forwarder's replica (as Network*). */
+    static void applyForward(void *target, const void *payload);
 
     std::uint32_t lambdas_;
     Tick interfaceOverhead_;

@@ -1,6 +1,7 @@
 #include "net/network.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "photonics/link_budget.hh"
 #include "sim/logging.hh"
@@ -20,8 +21,19 @@ Network::inject(Message msg)
     if (msg.src >= config_.siteCount() || msg.dst >= config_.siteCount())
         panic("Network::inject: site out of range (src=", msg.src,
               " dst=", msg.dst, ")");
-    if (msg.id == 0)
+    if (pdes_) {
+        if (!ownsSite(msg.src)) {
+            panic("Network::inject: site ", msg.src, " is owned by LP ",
+                  pdes_->lpOfSite(msg.src), ", not this replica's LP ",
+                  pdesLp_);
+        }
+        if (msg.id == 0) {
+            msg.id = ((static_cast<MessageId>(msg.src) + 1) << 40)
+                | ++pdesSeq_[msg.src];
+        }
+    } else if (msg.id == 0) {
         msg.id = nextId_++;
+    }
     msg.injected = now();
     if (msg.created == 0)
         msg.created = msg.injected;
@@ -39,18 +51,97 @@ Network::inject(Message msg)
 void
 Network::deliverAt(Message msg, Tick when)
 {
+    if (pdes_) {
+        // Keyed even when the destination is local: same-tick
+        // deliveries must order by message id for every partition,
+        // including the degenerate single-LP one the determinism
+        // tests compare against.
+        static_assert(sizeof(Message) <= pdesMaxPayload,
+                      "Message must fit a cross-LP event payload");
+        PdesEvent ev;
+        ev.when = when;
+        ev.key = msg.id;
+        ev.apply = &Network::applyDeliver;
+        std::memcpy(ev.payload, &msg, sizeof(Message));
+        pdesRoute(msg.dst, ev, "net.deliver");
+        return;
+    }
     sim_.events().schedule(when, [this, msg]() mutable {
-        msg.delivered = now();
-        ++stats_.delivered;
-        stats_.bytesDelivered += msg.bytes;
-        stats_.latencyNs.sample(ticksToNs(msg.delivered - msg.created));
-        if (observer_)
-            observer_(msg);
-        const Handler &h = handlers_[msg.dst] ? handlers_[msg.dst]
-                                              : defaultHandler_;
-        if (h)
-            h(msg);
+        finishDelivery(msg);
     }, "net.deliver");
+}
+
+void
+Network::finishDelivery(Message msg)
+{
+    msg.delivered = now();
+    ++stats_.delivered;
+    stats_.bytesDelivered += msg.bytes;
+    stats_.latencyNs.sample(ticksToNs(msg.delivered - msg.created));
+    if (observer_)
+        observer_(msg);
+    const Handler &h = handlers_[msg.dst] ? handlers_[msg.dst]
+                                          : defaultHandler_;
+    if (h)
+        h(msg);
+}
+
+void
+Network::applyDeliver(void *target, const void *payload)
+{
+    Message msg;
+    std::memcpy(&msg, payload, sizeof(Message));
+    static_cast<Network *>(target)->finishDelivery(msg);
+}
+
+Tick
+Network::pdesLookahead() const
+{
+    return std::max<Tick>(
+        MacrochipGeometry::waveguideDelay(config_.sitePitchCm), 1);
+}
+
+void
+Network::bindPdes(PdesScheduler &sched, std::uint32_t lp)
+{
+    if (pdes_)
+        panic("Network::bindPdes: '", name(), "' is already bound");
+    if (&sched.simOf(lp) != &sim_) {
+        panic("Network::bindPdes: replica for LP ", lp,
+              " was not built on that LP's Simulator");
+    }
+    if (sched.sitePartition().size() != config_.siteCount()) {
+        panic("Network::bindPdes: scheduler partitions ",
+              sched.sitePartition().size(), " sites, config has ",
+              config_.siteCount());
+    }
+    if (sched.lpCount() > 1
+        && pdesPartition() == PdesPartition::Colocated) {
+        panic("network '", name(), "' has globally shared state and "
+              "cannot split across ", sched.lpCount(),
+              " logical processes; run it colocated on one LP");
+    }
+    pdes_ = &sched;
+    pdesLp_ = lp;
+    pdesSeq_.assign(config_.siteCount(), 0);
+    sched.setTarget(lp, this);
+}
+
+void
+Network::pdesRoute(SiteId dst_site, PdesEvent ev, const char *tag)
+{
+    const std::uint32_t dst_lp = pdes_->lpOfSite(dst_site);
+    if (dst_lp == pdesLp_) {
+        ev.target = this;
+        schedulePdesEvent(sim_.events(), ev, tag);
+        return;
+    }
+    ev.target = pdes_->target(dst_lp);
+    if (!ev.target) {
+        panic("Network::pdesRoute: LP ", dst_lp,
+              " has no bound replica (bindPdes every LP first)");
+    }
+    pdes_->post(pdesLp_, dst_lp, ev);
 }
 
 void

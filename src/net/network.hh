@@ -26,6 +26,7 @@
 #include "net/message.hh"
 #include "photonics/laser_power.hh"
 #include "photonics/link_budget.hh"
+#include "sim/pdes_scheduler.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 
@@ -94,6 +95,29 @@ struct RetryPolicy
     std::uint32_t maxAttempts = 0;
 
     bool enabled() const { return maxAttempts > 0; }
+};
+
+/**
+ * How a topology's mutable state splits across parallel-in-model
+ * logical processes (sim/pdes_scheduler.hh).
+ */
+enum class PdesPartition
+{
+    /**
+     * The topology has globally shared mutable state — a token's
+     * position, gateway arbitration queues, a switch configuration,
+     * a broadcast bus — so replicas cannot advance concurrently.
+     * Drivers must collapse such a network onto one logical process.
+     */
+    Colocated,
+    /**
+     * Every piece of mutable state is owned by exactly one site (or
+     * one ordered site pair whose writes all originate at one site),
+     * so site groups may run in parallel: one replica per LP, each
+     * handling injections for its own sites and deliveries routed in
+     * from the others.
+     */
+    BySourceSite,
 };
 
 class Network
@@ -256,6 +280,40 @@ class Network
      */
     const std::string &statPrefix() const { return statPrefix_; }
 
+    /** How this topology's state may split across logical processes.
+     *  Colocated unless the concrete class can prove otherwise. */
+    virtual PdesPartition pdesPartition() const
+    {
+        return PdesPartition::Colocated;
+    }
+
+    /**
+     * Lower bound on the latency of any message between sites owned
+     * by different LPs: no inject() at local time t may cause a
+     * delivery (or any other cross-LP event) before t + lookahead.
+     * The base bound is the optical flight time over one site pitch —
+     * distinct sites are at least that far apart; topologies add
+     * their unavoidable per-message overheads on top.
+     */
+    virtual Tick pdesLookahead() const;
+
+    /**
+     * Bind this replica to logical process @p lp of @p sched. The
+     * replica must have been constructed on that LP's Simulator; it
+     * registers itself as the LP's cross-LP event target and switches
+     * inject()/deliverAt() onto the deterministic keyed path (ids
+     * become source-scoped sequence numbers, deliveries are ordered
+     * by id rather than insertion). A Colocated topology may only
+     * bind to a single-LP scheduler.
+     */
+    void bindPdes(PdesScheduler &sched, std::uint32_t lp);
+
+    /** Whether bindPdes() has run. */
+    bool pdesBound() const { return pdes_ != nullptr; }
+
+    /** The logical process this replica is bound to. */
+    std::uint32_t pdesLp() const { return pdesLp_; }
+
   protected:
     /** Deliver inter-site traffic; implemented by each topology. */
     virtual void route(Message msg) = 0;
@@ -295,7 +353,35 @@ class Network
     Tick now() const { return sim_.now(); }
     Tick cycle() const { return config_.clockPeriod; }
 
+    /** The bound scheduler, or nullptr outside PDES mode. */
+    PdesScheduler *pdes() { return pdes_; }
+
+    /** Whether @p site belongs to this replica's LP (always true
+     *  outside PDES mode). */
+    bool
+    ownsSite(SiteId site) const
+    {
+        return !pdes_ || pdes_->lpOfSite(site) == pdesLp_;
+    }
+
+    /**
+     * Hand a fully-built cross-LP event to the LP owning @p dst_site:
+     * scheduled locally when that is this replica, posted through the
+     * scheduler otherwise. Fills ev.target with the destination
+     * replica; both paths order by ev.key, so results do not depend
+     * on the partition. @pre pdesBound().
+     */
+    void pdesRoute(SiteId dst_site, PdesEvent ev, const char *tag);
+
   private:
+    /** Delivery epilogue: timestamps, stats, observer, site handler.
+     *  Runs at delivery time on the destination's LP. */
+    void finishDelivery(Message msg);
+
+    /** PdesEvent apply thunk for final deliveries; payload is the
+     *  Message, target the destination replica (as Network*). */
+    static void applyDeliver(void *target, const void *payload);
+
     Simulator &sim_;
     MacrochipConfig config_;
     MacrochipGeometry geometry_;
@@ -308,6 +394,14 @@ class Network
     RetryPolicy retry_;
     MessageId nextId_ = 1;
     std::string statPrefix_;
+
+    PdesScheduler *pdes_ = nullptr;
+    std::uint32_t pdesLp_ = 0;
+    /** Per-source injection sequence numbers backing the PDES message
+     *  ids: ((src + 1) << 40) | seq is unique, grows in each site's
+     *  own injection order, and so is identical for every LP count —
+     *  exactly what same-tick delivery ordering needs. */
+    std::vector<std::uint64_t> pdesSeq_;
 };
 
 } // namespace macrosim

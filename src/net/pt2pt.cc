@@ -88,6 +88,15 @@ PointToPointNetwork::applyLinkHealth(SiteId a, SiteId b,
     return true;
 }
 
+Tick
+PointToPointNetwork::pdesLookahead() const
+{
+    // Every inter-site delivery pays E-O at the source, at least one
+    // site pitch of flight plus a tick of serialization, and O-E at
+    // the destination; channel queueing only pushes arrivals later.
+    return Network::pdesLookahead() + 2 * interfaceOverhead_ + 1;
+}
+
 void
 PointToPointNetwork::route(Message msg)
 {

@@ -50,6 +50,16 @@ class PointToPointNetwork : public Network
     bool applyLinkHealth(SiteId a, SiteId b,
                          const LinkHealth &health) override;
 
+    /** An ordered pair's channel is written only by its source site's
+     *  route(), so site groups parallelize with no shared state. */
+    PdesPartition
+    pdesPartition() const override
+    {
+        return PdesPartition::BySourceSite;
+    }
+
+    Tick pdesLookahead() const override;
+
   protected:
     void route(Message msg) override;
 

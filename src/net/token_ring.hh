@@ -73,6 +73,14 @@ class TokenRingCrossbar : public Network
     bool applyLinkHealth(SiteId a, SiteId b,
                          const LinkHealth &health) override;
 
+    /** The token's position is one global resource every injection
+     *  contends for — the topology cannot split across LPs. */
+    PdesPartition
+    pdesPartition() const override
+    {
+        return PdesPartition::Colocated;
+    }
+
   protected:
     void route(Message msg) override;
 

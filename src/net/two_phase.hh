@@ -111,6 +111,14 @@ class TwoPhaseArbitratedNetwork : public Network
     bool applyLinkHealth(SiteId a, SiteId b,
                          const LinkHealth &health) override;
 
+    /** Row gateways arbitrate shared column channels — phase-two
+     *  queues are written by whole rows, not single sites. */
+    PdesPartition
+    pdesPartition() const override
+    {
+        return PdesPartition::Colocated;
+    }
+
   protected:
     void route(Message msg) override;
 

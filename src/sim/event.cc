@@ -88,6 +88,36 @@ EventQueue::schedule(Tick when, Callback cb, const char *tag)
     return makeId(slots_[slot].gen, slot);
 }
 
+EventId
+EventQueue::scheduleKeyed(Tick when, std::uint64_t key, Callback cb,
+                          const char *tag)
+{
+    if (when < now_) {
+        panic("EventQueue::scheduleKeyed: tried to schedule at tick ",
+              when, " which is before now (", now_, ")");
+    }
+    if (key >= keyedSeqBit)
+        panic("EventQueue::scheduleKeyed: key ", key, " uses the "
+              "keyed-record marker bit");
+    if (!cb)
+        panic("EventQueue::scheduleKeyed: empty callback");
+    const std::uint32_t slot = allocSlot(std::move(cb), tag);
+    heap_.push_back(HeapRecord{when, keyedSeqBit | key, slot});
+    siftUp(heap_.size() - 1);
+    ++pending_;
+    ++stats_.scheduled;
+    if (pending_ > stats_.peakPending)
+        stats_.peakPending = pending_;
+    return makeId(slots_[slot].gen, slot);
+}
+
+Tick
+EventQueue::peekNextTick()
+{
+    skipCancelled();
+    return heap_.empty() ? maxTick : heap_[0].when;
+}
+
 bool
 EventQueue::cancel(EventId id)
 {

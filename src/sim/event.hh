@@ -126,6 +126,34 @@ class EventQueue
     }
 
     /**
+     * Schedule @p cb with an explicit same-tick ordering key instead
+     * of insertion order. Keyed events run after every plain event of
+     * the same tick, ordered among themselves by ascending @p key.
+     *
+     * This is the parallel-in-model determinism hook: cross-LP
+     * deliveries arrive in whatever real-time order the worker
+     * threads produce, so insertion order is not reproducible — but a
+     * key derived from the message's causal identity (source site and
+     * per-source sequence) is identical for every LP/thread count.
+     * Plain schedule() ordering is untouched, so single-queue
+     * simulations stay byte-identical to their historical streams.
+     *
+     * @pre key < 2^63 (the top bit marks keyed records internally).
+     * @pre At most one keyed event per (when, key) pair — duplicate
+     *      pairs would tie and fall back to unspecified order.
+     */
+    EventId scheduleKeyed(Tick when, std::uint64_t key, Callback cb,
+                          const char *tag = nullptr);
+
+    /**
+     * Timestamp of the earliest pending event, or maxTick when the
+     * queue is empty. Sweeps cancelled tombstones off the top, hence
+     * non-const. The PDES horizon protocol publishes this as the
+     * earliest tick this LP could still execute.
+     */
+    Tick peekNextTick();
+
+    /**
      * Cancel a pending event.
      *
      * The callback (and everything it captured) is destroyed before
@@ -244,6 +272,12 @@ class EventQueue
         std::uint64_t seq;
         std::uint32_t slot;
     };
+
+    /** Keyed records set this bit in `seq`, with the caller's key in
+     *  the low bits: they sort after every plain record of their tick
+     *  (insertion counters stay far below 2^63) and by key among
+     *  themselves, so (when, seq) stays a strict total order. */
+    static constexpr std::uint64_t keyedSeqBit = 1ULL << 63;
 
     static bool
     earlier(const HeapRecord &a, const HeapRecord &b)

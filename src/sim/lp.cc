@@ -1,0 +1,99 @@
+#include "sim/lp.hh"
+
+#include <algorithm>
+
+#include "sim/pdes_scheduler.hh"
+
+namespace macrosim
+{
+
+LogicalProcess::LogicalProcess(PdesScheduler &sched, std::uint32_t id,
+                               std::uint64_t seed)
+    : sched_(sched), id_(id), sim_(seed)
+{
+}
+
+std::uint64_t
+LogicalProcess::drainInboxes()
+{
+    std::uint64_t drained = 0;
+    const std::uint32_t n = sched_.lpCount();
+    PdesEvent ev;
+    for (std::uint32_t j = 0; j < n; ++j) {
+        if (j == id_)
+            continue;
+        SpscChannel<PdesEvent> &ch = sched_.channel(j, id_);
+        while (ch.pop(ev)) {
+            // Scheduling is not execution: the event enters the local
+            // queue unconditionally (so inboxes are always drained
+            // dry and a sender can never be wedged on a full ring),
+            // but it only *runs* once the horizon passes its tick.
+            schedulePdesEvent(sim_.events(), ev, "pdes.cross");
+            ++drained;
+        }
+    }
+    return drained;
+}
+
+void
+LogicalProcess::publishState(bool idle, bool worked)
+{
+    if (!worked && idle == lastIdle_)
+        return;
+    lastIdle_ = idle;
+    ++stepVersion_;
+    state_.store((stepVersion_ << 1) | (idle ? 1u : 0u),
+                 std::memory_order_seq_cst);
+}
+
+bool
+LogicalProcess::step(Tick limit)
+{
+    // 1. Horizon: the earliest timestamp any other LP could still
+    // send. Reading the EOTs *before* draining is load-bearing: a
+    // message that is not in an inbox by the time we drain below was
+    // sent after these reads, under an EOT at least this large.
+    Tick eit = maxTick;
+    const std::uint32_t n = sched_.lpCount();
+    for (std::uint32_t j = 0; j < n; ++j) {
+        if (j != id_)
+            eit = std::min(eit, sched_.eotOf(j));
+    }
+
+    // 2. Fold every inbound message into the local queue.
+    const std::uint64_t drained = drainInboxes();
+
+    // 3. Execute strictly below the horizon (and never past limit).
+    std::uint64_t ran = 0;
+    if (eit > 0)
+        ran = sim_.events().runUntil(std::min(eit - 1, limit));
+    executed_ += ran;
+
+    // 4. Publish the new output horizon. After step 3 every local
+    // event below eit has run, so the next local tick is >= eit
+    // whenever the queue kept us busy; EOT = min(next, eit) +
+    // lookahead is therefore monotone (the max() guards the stale-eit
+    // case where another LP's EOT was read early).
+    const Tick next = sim_.events().peekNextTick();
+    const Tick base = std::min(next, eit);
+    const Tick look = sched_.lookahead();
+    const Tick eot = base > maxTick - look ? maxTick : base + look;
+    if (eot > eot_.load(std::memory_order_relaxed))
+        eot_.store(eot, std::memory_order_seq_cst);
+
+    // 5. Publish idle state, then release the drained messages'
+    // in-flight counts. The order matters for termination: a checker
+    // that sees in-flight == 0 is guaranteed to also see this step's
+    // version bump (and re-check the idle bit we just computed).
+    // Idle = nothing pending at or below the limit. An empty queue
+    // reports next == maxTick, which must count as idle even when the
+    // limit itself is maxTick (the default run-to-completion case).
+    publishState(/*idle=*/next > limit || next == maxTick,
+                 /*worked=*/drained > 0 || ran > 0);
+    if (drained > 0)
+        sched_.inFlight_.fetch_sub(drained, std::memory_order_seq_cst);
+
+    return drained > 0 || ran > 0;
+}
+
+} // namespace macrosim

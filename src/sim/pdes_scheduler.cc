@@ -1,0 +1,226 @@
+#include "sim/pdes_scheduler.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/thread_pool.hh"
+
+namespace macrosim
+{
+
+namespace
+{
+
+/** Drain-side callback capture: must fit InlineCallback's buffer. */
+struct CrossApply
+{
+    void (*apply)(void *, const void *);
+    void *target;
+    unsigned char payload[pdesMaxPayload];
+};
+
+static_assert(sizeof(CrossApply) <= EventQueue::Callback::inlineCapacity,
+              "cross-LP apply capture must stay inline");
+
+} // namespace
+
+void
+schedulePdesEvent(EventQueue &q, const PdesEvent &ev, const char *tag)
+{
+    CrossApply cap;
+    cap.apply = ev.apply;
+    cap.target = ev.target;
+    std::memcpy(cap.payload, ev.payload, pdesMaxPayload);
+    q.scheduleKeyed(ev.when, ev.key,
+                    [cap] { cap.apply(cap.target, cap.payload); }, tag);
+}
+
+PdesScheduler::PdesScheduler(std::uint32_t lp_count,
+                             std::size_t threads, std::uint64_t seed)
+    : threads_(threads == 0 ? lp_count : threads)
+{
+    if (lp_count == 0)
+        panic("PdesScheduler: lp_count must be >= 1");
+    if (threads_ == 0)
+        threads_ = 1;
+    lps_.reserve(lp_count);
+    for (std::uint32_t i = 0; i < lp_count; ++i) {
+        lps_.push_back(std::make_unique<LogicalProcess>(
+            *this, i, mix64(hashCombine(seed, i))));
+    }
+    channels_.resize(static_cast<std::size_t>(lp_count) * lp_count);
+    for (std::uint32_t s = 0; s < lp_count; ++s) {
+        for (std::uint32_t d = 0; d < lp_count; ++d) {
+            if (s != d) {
+                channels_[static_cast<std::size_t>(s) * lp_count + d] =
+                    std::make_unique<SpscChannel<PdesEvent>>(4096);
+            }
+        }
+    }
+    targets_.assign(lp_count, nullptr);
+}
+
+void
+PdesScheduler::setLookahead(Tick l)
+{
+    if (l == 0)
+        panic("PdesScheduler::setLookahead: lookahead must be > 0 "
+              "(liveness of the horizon protocol depends on it)");
+    lookahead_ = l;
+}
+
+void
+PdesScheduler::setSitePartition(std::vector<std::uint32_t> lp_of_site)
+{
+    for (std::uint32_t g : lp_of_site) {
+        if (g >= lpCount())
+            panic("PdesScheduler::setSitePartition: group ", g,
+                  " out of range (", lpCount(), " LPs)");
+    }
+    siteLp_ = std::move(lp_of_site);
+}
+
+std::vector<std::uint32_t>
+PdesScheduler::blockPartition(std::uint32_t sites, std::uint32_t lps)
+{
+    if (lps == 0)
+        lps = 1;
+    if (lps > sites && sites > 0)
+        lps = sites;
+    std::vector<std::uint32_t> map(sites);
+    const std::uint32_t base = sites / lps;
+    const std::uint32_t rem = sites % lps;
+    std::uint32_t site = 0;
+    for (std::uint32_t g = 0; g < lps; ++g) {
+        const std::uint32_t count = base + (g < rem ? 1u : 0u);
+        for (std::uint32_t k = 0; k < count; ++k)
+            map[site++] = g;
+    }
+    return map;
+}
+
+void
+PdesScheduler::setTarget(std::uint32_t lp, void *target)
+{
+    targets_.at(lp) = target;
+}
+
+void
+PdesScheduler::post(std::uint32_t src_lp, std::uint32_t dst_lp,
+                    const PdesEvent &ev)
+{
+    if (src_lp == dst_lp || dst_lp >= lpCount())
+        panic("PdesScheduler::post: bad LP pair ", src_lp, " -> ",
+              dst_lp);
+    if (!ev.apply)
+        panic("PdesScheduler::post: event without apply function");
+    const Tick src_now = lps_[src_lp]->sim().now();
+    if (ev.when < src_now + lookahead_) {
+        panic("PdesScheduler::post: event at tick ", ev.when,
+              " violates the lookahead promise (sender now ", src_now,
+              " + lookahead ", lookahead_, "); the topology's "
+              "pdesLookahead() is not a true lower bound");
+    }
+    // Count the message in flight *before* it becomes visible, so the
+    // termination check can never observe the channel-resident message
+    // as neither in flight nor scheduled.
+    inFlight_.fetch_add(1, std::memory_order_seq_cst);
+    channel(src_lp, dst_lp).push(ev);
+    crossPosts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+PdesScheduler::tryFinish()
+{
+    // Snapshot every LP's versioned idle word, require nothing in
+    // flight, then require the snapshot unchanged. LPs bump their
+    // version before releasing in-flight counts (LogicalProcess::
+    // step), so "in flight == 0" implies the words already reflect
+    // whichever step drained the last message.
+    std::vector<std::uint64_t> words(lps_.size());
+    for (std::size_t i = 0; i < lps_.size(); ++i) {
+        words[i] = lps_[i]->stateWord();
+        if ((words[i] & 1) == 0)
+            return false;
+    }
+    if (inFlight_.load(std::memory_order_seq_cst) != 0)
+        return false;
+    for (std::size_t i = 0; i < lps_.size(); ++i) {
+        if (lps_[i]->stateWord() != words[i])
+            return false;
+    }
+    done_.store(true, std::memory_order_seq_cst);
+    return true;
+}
+
+void
+PdesScheduler::workerLoop(std::size_t worker, Tick limit)
+{
+    const std::size_t stride = activeWorkers_;
+    const std::uint32_t n = lpCount();
+    while (!done_.load(std::memory_order_seq_cst)) {
+        bool progress = false;
+        for (std::uint32_t i = static_cast<std::uint32_t>(worker);
+             i < n; i += stride) {
+            progress = lps_[i]->step(limit) || progress;
+        }
+        if (!progress) {
+            if (tryFinish())
+                break;
+            std::this_thread::yield();
+        }
+    }
+}
+
+std::uint64_t
+PdesScheduler::run(Tick limit)
+{
+    if (lpCount() > 1 && lookahead_ == 0)
+        panic("PdesScheduler::run: setLookahead() first (multi-LP "
+              "runs need a cross-LP latency lower bound)");
+    std::uint64_t before = 0;
+    for (const auto &lp : lps_)
+        before += lp->executed();
+    done_.store(false, std::memory_order_seq_cst);
+    activeWorkers_ =
+        std::min<std::size_t>(std::max<std::size_t>(threads_, 1),
+                              lps_.size());
+    if (activeWorkers_ <= 1) {
+        // One worker: run the protocol inline. Same code path and
+        // same results as the threaded run — determinism tests pin
+        // thread counts {1, N} against each other.
+        workerLoop(0, limit);
+    } else {
+        ThreadPool pool(activeWorkers_);
+        std::vector<std::future<void>> joins;
+        joins.reserve(activeWorkers_);
+        for (std::size_t w = 0; w < activeWorkers_; ++w) {
+            joins.push_back(pool.submit(
+                [this, w, limit] { workerLoop(w, limit); }));
+        }
+        for (auto &j : joins)
+            j.get();
+    }
+    std::uint64_t after = 0;
+    for (const auto &lp : lps_)
+        after += lp->executed();
+    return after - before;
+}
+
+std::uint64_t
+PdesScheduler::spills() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_) {
+        if (ch)
+            total += ch->spills();
+    }
+    return total;
+}
+
+} // namespace macrosim

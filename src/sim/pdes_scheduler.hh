@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Conservative parallel-in-model discrete-event scheduler.
+ *
+ * One simulation is partitioned into N logical processes (sim/lp.hh),
+ * each owning a full Simulator for its site group. LPs synchronize
+ * with a barrier-free, null-message-free variant of the classic
+ * Chandy-Misra-Bryant horizon protocol:
+ *
+ *   - every LP publishes an earliest output time (EOT): a promise
+ *     that no message it ever sends will carry an earlier timestamp;
+ *   - an LP's earliest input time (EIT) is the minimum EOT over the
+ *     other LPs, and it may safely execute local events strictly
+ *     below its EIT;
+ *   - after draining its inboxes and executing, it republishes
+ *       EOT = min(next local event tick, EIT) + lookahead,
+ *     where lookahead is a physical lower bound on cross-LP message
+ *     latency — for the macrochip, the minimum inter-site optical
+ *     propagation delay (plus per-topology interface overheads),
+ *     thousands of ticks at ps resolution.
+ *
+ * EOTs are monotone, so EITs only grow; lookahead > 0 gives liveness
+ * (two mutually-blocked LPs ratchet each other forward by one
+ * lookahead per round). Safety: a message not yet visible when an LP
+ * drains was sent after the LP read the sender's EOT, and therefore
+ * carries a timestamp >= that EOT >= the EIT the LP executes below.
+ *
+ * Cross-LP messages travel through bounded SPSC channels (spsc.hh)
+ * as PdesEvents — (timestamp, key, apply-function, opaque payload) —
+ * and are folded into the receiver's queue with
+ * EventQueue::scheduleKeyed, so same-tick ordering comes from the
+ * message's causal key, not from real-time arrival order: results
+ * are bit-identical for every LP and worker-thread count.
+ *
+ * Termination uses an in-flight message counter plus per-LP versioned
+ * idle words: the check reads every LP's word, verifies all idle and
+ * nothing in flight, then re-reads the words; an LP republishes its
+ * word *before* releasing its drained messages' in-flight counts, so
+ * a check that observes in-flight == 0 also observes the version bump
+ * of whichever step drained the last message.
+ */
+
+#ifndef MACROSIM_SIM_PDES_SCHEDULER_HH
+#define MACROSIM_SIM_PDES_SCHEDULER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/lp.hh"
+#include "sim/spsc.hh"
+#include "sim/ticks.hh"
+
+namespace macrosim
+{
+
+/** Payload bytes a cross-LP event can carry inline (a Message plus a
+ *  little routing context must fit; checked by static_asserts at the
+ *  senders). Sized so the drain-side callback capture — apply, target
+ *  and payload — still fits InlineCallback's buffer. */
+constexpr std::size_t pdesMaxPayload = 88;
+
+/**
+ * A timestamped cross-LP event: at tick `when`, call
+ * `apply(target, payload)` on the destination LP. `key` orders
+ * same-tick events deterministically (EventQueue::scheduleKeyed);
+ * derive it from the payload's causal identity (e.g. the message id),
+ * never from arrival order.
+ */
+struct PdesEvent
+{
+    Tick when = 0;
+    std::uint64_t key = 0;
+    void (*apply)(void *target, const void *payload) = nullptr;
+    void *target = nullptr;
+    unsigned char payload[pdesMaxPayload] = {};
+};
+
+/**
+ * Schedule @p ev into @p q as a keyed event. Shared by the drain side
+ * and by senders whose destination happens to live on the local LP —
+ * both paths must order identically for LP-count invariance.
+ */
+void schedulePdesEvent(EventQueue &q, const PdesEvent &ev,
+                       const char *tag);
+
+class PdesScheduler
+{
+  public:
+    /**
+     * @param lp_count Number of logical processes (>= 1).
+     * @param threads Worker threads; clamped to [1, lp_count].
+     *        0 means one worker per LP.
+     * @param seed Root seed; each LP's Simulator RNG derives from it.
+     */
+    explicit PdesScheduler(std::uint32_t lp_count,
+                           std::size_t threads = 0,
+                           std::uint64_t seed = 1);
+
+    PdesScheduler(const PdesScheduler &) = delete;
+    PdesScheduler &operator=(const PdesScheduler &) = delete;
+
+    std::uint32_t lpCount() const
+    {
+        return static_cast<std::uint32_t>(lps_.size());
+    }
+
+    std::size_t threadCount() const { return threads_; }
+
+    LogicalProcess &lp(std::uint32_t i) { return *lps_[i]; }
+    Simulator &simOf(std::uint32_t i) { return lps_[i]->sim(); }
+
+    /**
+     * Set the cross-LP lookahead. Must be > 0: liveness of the
+     * horizon protocol depends on it. Senders must never post an
+     * event earlier than (their now) + lookahead; post() enforces it.
+     */
+    void setLookahead(Tick l);
+    Tick lookahead() const { return lookahead_; }
+
+    /**
+     * Install the site -> LP map (model-level bookkeeping; the
+     * scheduler itself never inspects site ids beyond handing the map
+     * back to the model objects bound to it).
+     */
+    void setSitePartition(std::vector<std::uint32_t> lp_of_site);
+
+    const std::vector<std::uint32_t> &
+    sitePartition() const
+    {
+        return siteLp_;
+    }
+
+    std::uint32_t
+    lpOfSite(std::uint32_t site) const
+    {
+        return siteLp_[site];
+    }
+
+    /**
+     * Contiguous balanced split of @p sites site ids over @p lps
+     * groups (first sites % lps groups get one extra). Site ids are
+     * row-major, so groups are contiguous row bands and every
+     * cross-group site pair is at least one site pitch apart — the
+     * lookahead floor the topologies derive from geometry.
+     */
+    static std::vector<std::uint32_t>
+    blockPartition(std::uint32_t sites, std::uint32_t lps);
+
+    /**
+     * Register the model object PdesEvents on @p lp should be applied
+     * to (opaque to the scheduler; senders store the pointer into
+     * PdesEvent::target). One target per LP — for this codebase, the
+     * LP's Network replica.
+     */
+    void setTarget(std::uint32_t lp, void *target);
+    void *target(std::uint32_t lp) const { return targets_[lp]; }
+
+    /**
+     * Post @p ev from @p src_lp to @p dst_lp. Must be called from the
+     * worker thread currently stepping @p src_lp (the channels are
+     * SPSC). @pre ev.when >= simOf(src_lp).now() + lookahead().
+     */
+    void post(std::uint32_t src_lp, std::uint32_t dst_lp,
+              const PdesEvent &ev);
+
+    /**
+     * Run every LP until all queues drain (or pass @p limit) and no
+     * message is in flight. Events scheduled at exactly @p limit
+     * still run. Not reentrant; single-LP schedulers run inline on
+     * the calling thread, multi-worker runs fan out over a
+     * ThreadPool.
+     *
+     * @return Events executed across all LPs during this call.
+     */
+    std::uint64_t run(Tick limit = maxTick);
+
+    /** Cross-LP events posted since construction. */
+    std::uint64_t
+    crossPosts() const
+    {
+        return crossPosts_.load(std::memory_order_relaxed);
+    }
+
+    /** Channel-ring overflows since construction (healthy runs: 0,
+     *  but any value is correct — overflow spills, never drops). */
+    std::uint64_t spills() const;
+
+  private:
+    friend class LogicalProcess;
+
+    Tick eotOf(std::uint32_t j) const { return lps_[j]->eot(); }
+
+    SpscChannel<PdesEvent> &
+    channel(std::uint32_t src, std::uint32_t dst)
+    {
+        return *channels_[static_cast<std::size_t>(src) * lps_.size()
+                          + dst];
+    }
+
+    void workerLoop(std::size_t worker, Tick limit);
+    bool tryFinish();
+
+    std::size_t threads_;
+    /** Workers participating in the current run() (<= threads_). */
+    std::size_t activeWorkers_ = 1;
+    Tick lookahead_ = 0;
+    std::vector<std::unique_ptr<LogicalProcess>> lps_;
+    /** Ordered-pair channels, src * lpCount + dst (diagonal unused). */
+    std::vector<std::unique_ptr<SpscChannel<PdesEvent>>> channels_;
+    std::vector<void *> targets_;
+    std::vector<std::uint32_t> siteLp_;
+
+    std::atomic<std::uint64_t> inFlight_{0};
+    std::atomic<bool> done_{false};
+    std::atomic<std::uint64_t> crossPosts_{0};
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_SIM_PDES_SCHEDULER_HH

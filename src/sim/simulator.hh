@@ -60,6 +60,13 @@ class Simulator
     Tick now() const { return events_.now(); }
 
     /**
+     * Earliest pending event's tick (maxTick when drained). The PDES
+     * scheduler derives each logical process's output horizon from
+     * this; see sim/pdes_scheduler.hh.
+     */
+    Tick nextEventTick() { return events_.peekNextTick(); }
+
+    /**
      * Run until the event queue drains or time reaches @p limit.
      * @return Number of events executed.
      */

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Bounded single-producer / single-consumer ring with an unbounded
+ * mutex-guarded spill lane.
+ *
+ * The PDES scheduler wires one channel per ordered LP pair; the LP
+ * that owns the source end is the only pusher and the LP that owns
+ * the destination end is the only popper, so the fast path is two
+ * atomic indices and no locks. The ring is deliberately bounded (a
+ * runaway producer should feel backpressure in cache footprint, not
+ * allocate without limit) — but a *blocking* full ring would deadlock
+ * when one worker thread multiplexes both endpoint LPs, so overflow
+ * spills into a locked deque that the consumer drains after the ring.
+ * Spills are counted; a healthy run with lookahead-sized bursts never
+ * takes the lock.
+ */
+
+#ifndef MACROSIM_SIM_SPSC_HH
+#define MACROSIM_SIM_SPSC_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace macrosim
+{
+
+template <typename T>
+class SpscChannel
+{
+  public:
+    /** @param capacity Ring size; rounded up to a power of two. */
+    explicit SpscChannel(std::size_t capacity = 1024)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        ring_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscChannel(const SpscChannel &) = delete;
+    SpscChannel &operator=(const SpscChannel &) = delete;
+
+    /** Producer side. Never fails and never blocks: a full ring
+     *  spills into the locked overflow lane. */
+    void
+    push(const T &v)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail - head < ring_.size()) {
+            ring_[tail & mask_] = v;
+            tail_.store(tail + 1, std::memory_order_release);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(spillMutex_);
+            spill_.push_back(v);
+        }
+        spillCount_.fetch_add(1, std::memory_order_relaxed);
+        spillPending_.fetch_add(1, std::memory_order_release);
+    }
+
+    /** Consumer side. @return whether @p out was filled. Ring first,
+     *  then the spill lane — arrival order across the two lanes is
+     *  not preserved, which is fine for payloads carrying their own
+     *  (timestamp, key) ordering. */
+    bool
+    pop(T &out)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head != tail_.load(std::memory_order_acquire)) {
+            out = ring_[head & mask_];
+            head_.store(head + 1, std::memory_order_release);
+            return true;
+        }
+        if (spillPending_.load(std::memory_order_acquire) == 0)
+            return false;
+        std::lock_guard<std::mutex> lock(spillMutex_);
+        if (spill_.empty())
+            return false;
+        out = spill_.front();
+        spill_.pop_front();
+        spillPending_.fetch_sub(1, std::memory_order_release);
+        return true;
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Total pushes that missed the ring (monotonic). */
+    std::uint64_t
+    spills() const
+    {
+        return spillCount_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<T> ring_;
+    std::size_t mask_ = 0;
+    /** Producer and consumer indices on separate cache lines so the
+     *  two endpoint threads do not false-share. */
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> spillPending_{0};
+    std::atomic<std::uint64_t> spillCount_{0};
+    std::mutex spillMutex_;
+    std::deque<T> spill_;
+};
+
+} // namespace macrosim
+
+#endif // MACROSIM_SIM_SPSC_HH

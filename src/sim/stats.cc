@@ -26,6 +26,29 @@ Accumulator::stddev() const
     return std::sqrt(variance());
 }
 
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const std::uint64_t n = count_ + other.count_;
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * static_cast<double>(other.count_)
+        / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta
+        * static_cast<double>(count_)
+        * static_cast<double>(other.count_)
+        / static_cast<double>(n);
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = n;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi),
       width_((hi - lo) / static_cast<double>(buckets)),
@@ -76,7 +99,30 @@ Histogram::quantile(double q) const
         }
         running += in_bin;
     }
+    // The target lies beyond the last regular bucket: the true value
+    // was clipped into overflow and any finite answer would
+    // under-report the tail (figure-6 asymptotes flattened at the cap).
+    if (overflow_ > 0)
+        return std::numeric_limits<double>::infinity();
     return hi_;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.lo_ != lo_ || other.hi_ != hi_ ||
+        other.bins_.size() != bins_.size()) {
+        fatal("Histogram::merge: incompatible bucketing ([", lo_, ", ",
+              hi_, ") x", bins_.size(), " vs [", other.lo_, ", ",
+              other.hi_, ") x", other.bins_.size(), ")");
+    }
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    nonfinite_ += other.nonfinite_;
+    total_ += other.total_;
+    acc_.merge(other.acc_);
 }
 
 void

@@ -50,6 +50,16 @@ class Accumulator
     double variance() const { return count_ ? m2_ / count_ : 0.0; }
     double stddev() const;
 
+    /**
+     * Fold @p other into this accumulator (Chan's parallel Welford
+     * update), as if every sample of @p other had been sample()d here.
+     * Merging the same accumulators in the same order is bit-exact
+     * regardless of how the samples were sharded — the PDES result
+     * merge relies on folding per-site accumulators in global site
+     * order to stay bit-identical across LP counts.
+     */
+    void merge(const Accumulator &other);
+
     void reset() { *this = Accumulator(); }
 
   private:
@@ -85,8 +95,24 @@ class Histogram
     double mean() const { return acc_.mean(); }
     double max() const { return acc_.max(); }
 
-    /** Quantile in [0,1]; returns hi bound if q lands in overflow. */
+    /**
+     * Quantile in [0,1]. When the quantile lands in the overflow
+     * bucket the true value is beyond the histogram's range and any
+     * in-range answer would silently under-report the tail, so +inf
+     * is returned instead; callers can test with std::isinf and
+     * consult overflow() for the clipped count.
+     */
     double quantile(double q) const;
+
+    /**
+     * Add @p other's samples into this histogram. Both must have the
+     * same bucketing (fatal otherwise). Bucket counts are integer
+     * sums, so merging shards is order-independent; the embedded
+     * moments merge via Accumulator::merge (order-sensitive in the
+     * last bits — fold shards in a fixed order when bit-identity
+     * matters).
+     */
+    void merge(const Histogram &other);
 
     const std::vector<std::uint64_t> &buckets() const { return bins_; }
     double bucketWidth() const { return width_; }

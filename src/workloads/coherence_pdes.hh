@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Coherence traffic through the parallel-in-model scheduler.
+ *
+ * The CoherenceEngine owns global state — the transaction pool, line
+ * locks, the distributed directory — so it cannot split across
+ * logical processes; this driver runs it colocated on a single LP.
+ * What it exercises is the *keyed* delivery path every PDES run uses:
+ * same-tick coherence messages order by message id rather than
+ * insertion order, and this driver pins that the engine's statistics
+ * are reproducible on that path (the determinism suite compares runs
+ * across scheduler thread settings and against repetition).
+ */
+
+#ifndef MACROSIM_WORKLOADS_COHERENCE_PDES_HH
+#define MACROSIM_WORKLOADS_COHERENCE_PDES_HH
+
+#include <cstdint>
+
+#include "workloads/coherence.hh"
+#include "workloads/pdes_driver.hh"
+
+namespace macrosim
+{
+
+struct CoherencePdesConfig
+{
+    /** Closed-loop transactions issued by each site, one at a time. */
+    std::uint64_t transactionsPerSite = 32;
+    SharerMix mix = SharerMix::lessSharing();
+    /** GetM (vs GetS) fraction of requests. */
+    double writeFraction = 0.3;
+    std::uint64_t seed = 1;
+};
+
+struct CoherencePdesResult
+{
+    std::uint64_t completed = 0;
+    std::uint64_t messagesSent = 0;
+    double meanOpLatencyNs = 0.0;
+    double maxOpLatencyNs = 0.0;
+    std::uint64_t eventsExecuted = 0;
+    std::uint32_t effectiveLps = 0;
+};
+
+/**
+ * Run the synthetic closed-loop coherence workload on a PDES-bound
+ * replica of the factory's topology. Per-site RNG streams make the
+ * result a pure function of the config.
+ */
+CoherencePdesResult runCoherencePdes(const PdesNetworkFactory &make_net,
+                                     const CoherencePdesConfig &cfg);
+
+} // namespace macrosim
+
+#endif // MACROSIM_WORKLOADS_COHERENCE_PDES_HH

@@ -20,6 +20,7 @@
 
 #include "net/network.hh"
 #include "workloads/patterns.hh"
+#include "workloads/pdes_driver.hh"
 
 namespace macrosim
 {
@@ -51,6 +52,26 @@ struct InjectorResult
     /** Delivered throughput as % of per-site peak. */
     double deliveredPct = 0.0;
     std::uint64_t measuredPackets = 0;
+    /**
+     * Measured packets whose latency exceeded the histogram cap
+     * (4 us): they are excluded from the percentile buckets, so when
+     * a quantile lands among them p50/p99 report +inf rather than a
+     * silently-clipped finite value. mean/max are unaffected (they
+     * come from the unclipped accumulator).
+     */
+    std::uint64_t overflowPackets = 0;
+    /**
+     * Offered load actually generated during the measurement window,
+     * as % of per-site peak — injected window packets x packet size
+     * over window x sites x peak. Differs from offeredLoadPct by the
+     * inter-arrival quantization bias: the legacy injector rounds
+     * each exponential gap to >= 1 tick (upward bias <= 0.5 tick +
+     * P(gap < 1 tick) per arrival, i.e. <~ 1.5% at figure-6 rates),
+     * and the PDES injector accumulates arrivals on a drift-free
+     * real-valued clock (bias only from the final truncated
+     * inter-arrival, <= 1 packet per site).
+     */
+    double offeredMeasuredPct = 0.0;
 };
 
 /**
@@ -60,6 +81,38 @@ struct InjectorResult
  */
 InjectorResult runOpenLoop(Simulator &sim, Network &net,
                            const InjectorConfig &cfg);
+
+/** A parallel-in-model injector run's measurement plus how it ran. */
+struct PdesInjectorResult
+{
+    InjectorResult result;
+    /** LPs actually used (1 for Colocated topologies). */
+    std::uint32_t effectiveLps = 0;
+    /** Events executed across all LPs. */
+    std::uint64_t eventsExecuted = 0;
+    /** Cross-LP events posted through the scheduler. */
+    std::uint64_t crossPosts = 0;
+    /** Cross-LP posts that overflowed an SPSC ring into its locked
+     *  spill lane (capacity-tuning telemetry; harmless when > 0). */
+    std::uint64_t spscSpills = 0;
+};
+
+/**
+ * The open-loop injector partitioned across @p lps logical processes
+ * (workloads/pdes_driver.hh). Every stochastic element is per-site —
+ * one RNG stream and one drift-free real-valued arrival clock per
+ * source, one latency accumulator per destination, merged in global
+ * site order — so the InjectorResult is bit-identical for every
+ * (lps, threads) choice. Note the streams differ from runOpenLoop's
+ * single-RNG legacy path: compare PDES runs with PDES runs.
+ *
+ * Measurement windows are anchored at tick zero (fresh simulators):
+ * warmup ends at cfg.warmup, the window at cfg.warmup + cfg.window.
+ */
+PdesInjectorResult runOpenLoopPdes(const PdesNetworkFactory &make_net,
+                                   const InjectorConfig &cfg,
+                                   std::uint32_t lps,
+                                   std::size_t threads = 0);
 
 } // namespace macrosim
 

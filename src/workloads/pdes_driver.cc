@@ -1,0 +1,47 @@
+#include "workloads/pdes_driver.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+PdesModel
+buildPdesModel(const PdesNetworkFactory &make_net, std::uint32_t lps,
+               std::size_t threads, std::uint64_t seed)
+{
+    if (!make_net)
+        panic("buildPdesModel: empty network factory");
+    if (lps == 0)
+        lps = 1;
+
+    // Probe replica: partitionability and site count are config
+    // properties, identical across replicas.
+    std::uint32_t sites = 0;
+    PdesPartition partition = PdesPartition::Colocated;
+    {
+        Simulator probe(seed);
+        std::unique_ptr<Network> net = make_net(probe);
+        sites = net->config().siteCount();
+        partition = net->pdesPartition();
+    }
+
+    PdesModel model;
+    model.effectiveLps = partition == PdesPartition::BySourceSite
+        ? std::min(lps, sites)
+        : 1;
+    model.sched = std::make_unique<PdesScheduler>(model.effectiveLps,
+                                                  threads, seed);
+    model.sched->setSitePartition(
+        PdesScheduler::blockPartition(sites, model.effectiveLps));
+    model.nets.reserve(model.effectiveLps);
+    for (std::uint32_t i = 0; i < model.effectiveLps; ++i) {
+        model.nets.push_back(make_net(model.sched->simOf(i)));
+        model.nets.back()->bindPdes(*model.sched, i);
+    }
+    model.sched->setLookahead(model.nets.front()->pdesLookahead());
+    return model;
+}
+
+} // namespace macrosim

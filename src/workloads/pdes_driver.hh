@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared scaffolding for parallel-in-model (PDES) workload drivers.
+ *
+ * A driver partitions one simulation across logical processes by
+ * building one Network replica per LP from a caller-supplied factory.
+ * The factory runs once per LP against that LP's Simulator, so every
+ * replica sees identical configuration; bindPdes() then switches the
+ * replicas onto the deterministic keyed delivery path. Topologies
+ * whose state cannot split (PdesPartition::Colocated) collapse to one
+ * effective LP — the run still uses the PDES machinery, it just has
+ * no parallelism to exploit.
+ */
+
+#ifndef MACROSIM_WORKLOADS_PDES_DRIVER_HH
+#define MACROSIM_WORKLOADS_PDES_DRIVER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/pdes_scheduler.hh"
+
+namespace macrosim
+{
+
+/** Builds one topology replica on the given LP's Simulator. Must be a
+ *  pure function of the simulator (identical config every call). */
+using PdesNetworkFactory =
+    std::function<std::unique_ptr<Network>(Simulator &)>;
+
+/** A partitioned model: the scheduler plus one bound replica per LP. */
+struct PdesModel
+{
+    std::unique_ptr<PdesScheduler> sched;
+    std::vector<std::unique_ptr<Network>> nets;
+    /** LPs actually used; 1 for Colocated topologies regardless of
+     *  the request. */
+    std::uint32_t effectiveLps = 1;
+
+    Network &net(std::uint32_t lp) { return *nets[lp]; }
+};
+
+/**
+ * Probe the topology's partitionability, size the LP count, and build
+ * the bound replicas: block site partition, per-LP replica, lookahead
+ * from the topology's own bound.
+ *
+ * @param lps Requested LP count (>= 1); clamped to the site count,
+ *        and to 1 for Colocated topologies.
+ * @param threads Worker threads (0 = one per LP).
+ */
+PdesModel buildPdesModel(const PdesNetworkFactory &make_net,
+                         std::uint32_t lps, std::size_t threads,
+                         std::uint64_t seed);
+
+} // namespace macrosim
+
+#endif // MACROSIM_WORKLOADS_PDES_DRIVER_HH

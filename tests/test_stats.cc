@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <sstream>
 
@@ -158,6 +159,83 @@ TEST(Histogram, ResetClearsEverything)
     EXPECT_EQ(h.count(), 0u);
     EXPECT_EQ(h.overflow(), 0u);
     EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesDirectSampling)
+{
+    // The PDES drivers shard samples per site and fold shards with
+    // merge(); the fold must agree with sampling everything into one
+    // accumulator (Chan's parallel-Welford update).
+    Accumulator whole, left, right;
+    const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0,
+                         -1.0, 12.5, 0.25, 3.75};
+    int i = 0;
+    for (double x : xs) {
+        whole.sample(x);
+        (i++ % 2 ? right : left).sample(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+    EXPECT_DOUBLE_EQ(left.mean(), whole.mean());
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+    EXPECT_NEAR(left.stddev(), whole.stddev(), 1e-12);
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity)
+{
+    Accumulator a, empty;
+    a.sample(3.0);
+    a.sample(7.0);
+
+    Accumulator b = a;
+    b.merge(empty);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+
+    Accumulator c = empty;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(c.min(), 3.0);
+    EXPECT_DOUBLE_EQ(c.max(), 7.0);
+}
+
+TEST(Histogram, MergeAddsBinsAndSpecialBuckets)
+{
+    Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+    a.sample(1.0);
+    a.sample(-2.0);
+    b.sample(1.5);
+    b.sample(9.0);
+    b.sample(42.0);
+    b.sample(std::numeric_limits<double>::quiet_NaN());
+    a.merge(b);
+    EXPECT_EQ(a.count(), 6u);
+    EXPECT_EQ(a.buckets()[0], 2u); // 1.0 and 1.5
+    EXPECT_EQ(a.buckets()[4], 1u); // 9.0
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.nonfinite(), 1u);
+
+    Histogram incompatible(0.0, 10.0, 4);
+    EXPECT_THROW(a.merge(incompatible), FatalError);
+}
+
+TEST(Histogram, QuantileInOverflowReportsInf)
+{
+    // When the requested quantile lands among samples clipped past
+    // the cap, a finite answer would under-report the tail; the
+    // injector relies on +inf to keep saturated load points honest.
+    Histogram h(0.0, 10.0, 5);
+    for (int i = 0; i < 90; ++i)
+        h.sample(5.0);
+    for (int i = 0; i < 10; ++i)
+        h.sample(1000.0);
+    EXPECT_TRUE(std::isfinite(h.quantile(0.5)));
+    EXPECT_TRUE(std::isinf(h.quantile(0.99)));
+    EXPECT_GT(h.quantile(0.99), 0.0); // +inf, not -inf
 }
 
 TEST(StatGroup, DumpsNamesAndValues)
