@@ -9,6 +9,23 @@
  *    InjectorResult (the binary exits non-zero otherwise), and
  *  - speedup: events/sec at 4 LPs over the single-LP run.
  *
+ * Timed points run with metrics timing on, so the per-LP horizon
+ * breakdown (busy vs blocked wall time, spills, peak channel depth)
+ * lands in BENCH_pdes.json next to the speedup — the perf trajectory
+ * records *why* a point is slow. --sim-stats prints each point's
+ * load-balance report (PdesLoadReport).
+ *
+ * Shared harness telemetry flags:
+ *   --trace=<file>    capture the 4-LP run's parallel Perfetto
+ *                     timeline (PdesTracer) — captured twice, with 1
+ *                     and 3 worker threads, and the two serializations
+ *                     must be byte-identical (exit non-zero
+ *                     otherwise); the JSON is self-validated before
+ *                     writing.
+ *   --metrics=<file>  dump the 4-LP point's pdes.* stat registry.
+ *   --profile         print each timed point's per-LP event-loop
+ *                     profile, folded in fixed LP order.
+ *
  * --smoke shrinks the window for CI (the smoke run is also wired
  * into the MACROSIM_SANITIZE=thread configuration, where it doubles
  * as a TSan exercise of the horizon protocol under real load);
@@ -23,19 +40,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "arch/config.hh"
+#include "harness.hh"
 #include "net/pt2pt.hh"
+#include "sim/telemetry/json.hh"
 #include "workloads/packet_injector.hh"
 
 namespace
 {
 
 using namespace macrosim;
+using namespace macrosim::bench;
 using Clock = std::chrono::steady_clock;
 
 struct PdesBenchPoint
@@ -45,6 +67,8 @@ struct PdesBenchPoint
     PdesInjectorResult run;
     double wallSec = 0.0;
     double eventsPerSec = 0.0;
+    std::string profile;
+    std::string metrics;
 };
 
 InjectorConfig
@@ -70,13 +94,20 @@ benchFactory()
 
 PdesBenchPoint
 timePoint(const InjectorConfig &cfg, std::uint32_t lps,
-          std::size_t threads)
+          std::size_t threads, const TelemetryOptions &topts)
 {
     PdesBenchPoint p;
     p.lps = lps;
     p.threads = threads;
+    PdesObservability obs;
+    obs.timing = true;
+    obs.profile = topts.profile;
+    if (topts.profile)
+        obs.profileOut = &p.profile;
+    if (!topts.metricsPath.empty())
+        obs.metricsOut = &p.metrics;
     const Clock::time_point t0 = Clock::now();
-    p.run = runOpenLoopPdes(benchFactory(), cfg, lps, threads);
+    p.run = runOpenLoopPdes(benchFactory(), cfg, lps, threads, &obs);
     const Clock::time_point t1 = Clock::now();
     p.wallSec =
         std::chrono::duration<double>(t1 - t0).count();
@@ -134,18 +165,62 @@ identical(const InjectorResult &a, const InjectorResult &b)
         && a.offeredMeasuredPct == b.offeredMeasuredPct;
 }
 
+/**
+ * Capture the PDES Perfetto timeline of one untimed run and return
+ * its serialized JSON. Called twice with different worker-thread
+ * counts: the two strings must be byte-identical (the PdesTracer
+ * determinism bar).
+ */
+std::string
+captureTrace(const InjectorConfig &cfg, std::uint32_t lps,
+             std::size_t threads)
+{
+    TraceSink sink;
+    PdesObservability obs;
+    obs.trace = &sink;
+    runOpenLoopPdes(benchFactory(), cfg, lps, threads, &obs);
+    std::ostringstream os;
+    sink.writeJson(os);
+    return os.str();
+}
+
+/** "[a,b,c]" from a per-LP extractor, %g-rendered. */
+template <typename Fn>
+std::string
+jsonLpArray(const PdesLoadReport &load, Fn &&value)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < load.lps.size(); ++i) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%s%.6g", i ? "," : "",
+                      value(load.lps[i]));
+        out += buf;
+    }
+    out += "]";
+    return out;
+}
+
+std::string
+jsonNum(const char *key, double v, const char *fmt = "%.6g")
+{
+    char buf[96];
+    std::string pattern = std::string("\"%s\":") + fmt;
+    std::snprintf(buf, sizeof(buf), pattern.c_str(), key, v);
+    return buf;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    bool smoke = false;
+    const TelemetryOptions topts = telemetryArgs(argc, argv);
+    const bool simStats = simStatsArg(argc, argv);
+    const bool smoke = topts.smoke;
     std::uint32_t extra_lp = 0;
     std::size_t extra_threads = 0;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0) {
-            smoke = true;
-        } else if (std::strcmp(argv[i], "--lp") == 0 && i + 1 < argc) {
+        if (std::strcmp(argv[i], "--lp") == 0 && i + 1 < argc) {
             extra_lp = static_cast<std::uint32_t>(
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (std::strcmp(argv[i], "--threads-per-sim") == 0
@@ -158,11 +233,11 @@ main(int argc, char **argv)
     const InjectorConfig cfg = benchConfig(smoke);
     std::vector<PdesBenchPoint> points;
     for (const std::uint32_t lps : {1u, 2u, 4u})
-        points.push_back(timePoint(cfg, lps, lps));
+        points.push_back(timePoint(cfg, lps, lps, topts));
     if (extra_lp > 0) {
         points.push_back(timePoint(
             cfg, extra_lp,
-            extra_threads > 0 ? extra_threads : extra_lp));
+            extra_threads > 0 ? extra_threads : extra_lp, topts));
     }
 
     bool ok = true;
@@ -181,7 +256,43 @@ main(int argc, char **argv)
                          p.lps, p.threads);
             ok = false;
         }
+        if (simStats)
+            p.run.load.print(std::cerr);
+        if (topts.profile && !p.profile.empty())
+            std::cerr << p.profile;
     }
+
+    // Perfetto capture: two untimed runs of the largest point on
+    // different worker-thread counts must serialize byte-identical
+    // trace JSON — the observability layer is held to the same
+    // determinism bar as the results (DESIGN.md §12).
+    if (topts.tracing()) {
+        const std::uint32_t trace_lps = extra_lp > 0 ? extra_lp : 4;
+        const std::string t1 = captureTrace(cfg, trace_lps, 1);
+        const std::string t3 = captureTrace(cfg, trace_lps, 3);
+        if (t1 != t3) {
+            std::fprintf(stderr,
+                         "bench_pdes: trace JSON differs between 1 "
+                         "and 3 worker threads (%zu vs %zu bytes)\n",
+                         t1.size(), t3.size());
+            ok = false;
+        }
+        std::string err;
+        if (!jsonValid(t1, &err)) {
+            std::fprintf(stderr,
+                         "bench_pdes: trace JSON invalid: %s\n",
+                         err.c_str());
+            ok = false;
+        }
+        writeTextFile(topts.tracePath, t1);
+        std::fprintf(stderr,
+                     "bench_pdes: wrote %s (%zu bytes, lp=%u, "
+                     "thread-count invariant: %s)\n",
+                     topts.tracePath.c_str(), t1.size(), trace_lps,
+                     t1 == t3 ? "yes" : "NO");
+    }
+    if (!topts.metricsPath.empty())
+        writeTextFile(topts.metricsPath, points.back().metrics);
 
     const double base = points[0].eventsPerSec;
     const double speedup2 = base > 0.0
@@ -193,27 +304,83 @@ main(int argc, char **argv)
                 "(machine gives 4 threads %.2fx)\n",
                 speedup2, speedup4, scaling);
 
-    char json[640];
-    std::snprintf(
-        json, sizeof(json),
-        "{\"bench\":\"pdes\",\"grid\":\"16x16\",\"load\":%.2f,"
-        "\"events_per_sec_1lp\":%.6e,"
-        "\"events_per_sec_2lp\":%.6e,"
-        "\"events_per_sec_4lp\":%.6e,"
-        "\"speedup_2lp\":%.3f,\"speedup_4lp\":%.3f,"
-        "\"machine_thread_scaling_4\":%.3f,"
-        "\"cross_posts_4lp\":%llu,\"spsc_spills_4lp\":%llu,"
-        "\"bit_identical\":%s}",
-        cfg.load, points[0].eventsPerSec, points[1].eventsPerSec,
-        points[2].eventsPerSec, speedup2, speedup4, scaling,
-        static_cast<unsigned long long>(points[2].run.crossPosts),
-        static_cast<unsigned long long>(points[2].run.spscSpills),
-        ok ? "true" : "false");
-    std::printf("%s\n", json);
+    // The 4-LP point's per-LP breakdown goes into the pinned JSON:
+    // busy (drain+exec) and blocked wall per LP sum to roughly
+    // wall_sec_4lp x active workers, so a slow point explains itself.
+    const PdesBenchPoint &p4 = points[2];
+    const PdesLoadReport &load4 = p4.run.load;
+    std::string json = "{\"bench\":\"pdes\",\"grid\":\"16x16\",";
+    json += jsonNum("load", cfg.load, "%.2f") + ",";
+    json += jsonNum("events_per_sec_1lp", points[0].eventsPerSec,
+                    "%.6e") + ",";
+    json += jsonNum("events_per_sec_2lp", points[1].eventsPerSec,
+                    "%.6e") + ",";
+    json += jsonNum("events_per_sec_4lp", points[2].eventsPerSec,
+                    "%.6e") + ",";
+    json += jsonNum("speedup_2lp", speedup2, "%.3f") + ",";
+    json += jsonNum("speedup_4lp", speedup4, "%.3f") + ",";
+    json += jsonNum("machine_thread_scaling_4", scaling, "%.3f") + ",";
+    json += jsonNum("cross_posts_4lp",
+                    static_cast<double>(p4.run.crossPosts), "%.0f")
+        + ",";
+    json += jsonNum("spsc_spills_4lp",
+                    static_cast<double>(p4.run.spscSpills), "%.0f")
+        + ",";
+    json += jsonNum("wall_sec_4lp", p4.wallSec, "%.6f") + ",";
+    json += jsonNum("blocked_frac_4lp", load4.blockedFraction, "%.4f")
+        + ",";
+    json += jsonNum("imbalance_4lp", load4.eventImbalance, "%.4f")
+        + ",";
+    json += jsonNum("critical_lp_4lp",
+                    static_cast<double>(load4.criticalLp), "%.0f")
+        + ",";
+    json += "\"lp_events_4lp\":"
+        + jsonLpArray(load4,
+                      [](const PdesLpLoad &l) {
+                          return static_cast<double>(l.executed);
+                      })
+        + ",";
+    json += "\"lp_drain_wall_ns_4lp\":"
+        + jsonLpArray(load4,
+                      [](const PdesLpLoad &l) { return l.drainWallNs; })
+        + ",";
+    json += "\"lp_exec_wall_ns_4lp\":"
+        + jsonLpArray(load4,
+                      [](const PdesLpLoad &l) { return l.execWallNs; })
+        + ",";
+    json += "\"lp_blocked_wall_ns_4lp\":"
+        + jsonLpArray(load4,
+                      [](const PdesLpLoad &l) {
+                          return l.blockedWallNs;
+                      })
+        + ",";
+    json += "\"lp_posts_4lp\":"
+        + jsonLpArray(load4,
+                      [](const PdesLpLoad &l) {
+                          return static_cast<double>(l.posts);
+                      })
+        + ",";
+    json += "\"lp_spills_4lp\":"
+        + jsonLpArray(load4,
+                      [](const PdesLpLoad &l) {
+                          return static_cast<double>(l.spills);
+                      })
+        + ",";
+    json += "\"bit_identical\":";
+    json += ok ? "true" : "false";
+    json += "}";
+
+    std::string jerr;
+    if (!jsonValid(json, &jerr)) {
+        std::fprintf(stderr, "bench_pdes: result JSON invalid: %s\n",
+                     jerr.c_str());
+        ok = false;
+    }
+    std::printf("%s\n", json.c_str());
     std::fflush(stdout);
     if (!smoke) {
         if (std::FILE *f = std::fopen("BENCH_pdes.json", "w")) {
-            std::fprintf(f, "%s\n", json);
+            std::fprintf(f, "%s\n", json.c_str());
             std::fclose(f);
         } else {
             std::fprintf(stderr,

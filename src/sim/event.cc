@@ -207,10 +207,17 @@ EventQueue::executeRoot()
     popRoot();
     --pending_;
     ++stats_.executed;
-    if (burst_ > 0 && root.when == lastExecTick_)
+    if (burst_ > 0 && root.when == lastExecTick_) {
         ++burst_;
-    else
+    } else {
+        // Crossing a tick boundary completes the previous tick: its
+        // event count is final, so report it before restarting the
+        // burst. Same-tick events always execute consecutively (the
+        // heap is tick-ordered), so burst_ *is* the per-tick count.
+        if (burst_ > 0 && tickObs_ != nullptr)
+            tickObs_(tickCtx_, lastExecTick_, burst_);
         burst_ = 1;
+    }
     lastExecTick_ = root.when;
     if (burst_ > stats_.maxSameTickBurst)
         stats_.maxSameTickBurst = burst_;
@@ -310,6 +317,17 @@ EventQueue::runUntil(Tick limit)
         ++ran;
     }
     return ran;
+}
+
+void
+EventQueue::flushTickObserver()
+{
+    if (burst_ > 0 && tickObs_ != nullptr) {
+        tickObs_(tickCtx_, lastExecTick_, burst_);
+        // Forget the in-progress burst so a flush never
+        // double-reports; the intended call site is end-of-run.
+        burst_ = 0;
+    }
 }
 
 void

@@ -222,6 +222,40 @@ class EventQueue
     /** Dump the self-profile as an aligned table. */
     void dumpProfile(std::ostream &os) const;
 
+    /**
+     * Callback fired once per *completed* executed tick with the
+     * number of events that ran at it. Plain function pointer plus
+     * context, so installing one costs a single predictable branch on
+     * the execute path when unset.
+     */
+    using TickObserver = void (*)(void *ctx, Tick tick,
+                                  std::uint64_t events);
+
+    /**
+     * Install (or clear, with nullptr) the tick observer. The
+     * observer sees the deterministic execution stream — (tick,
+     * events-at-tick) pairs in nondecreasing tick order — and nothing
+     * about real time, which is what makes it usable for
+     * thread-count-invariant tracing of parallel-in-model runs. A
+     * tick is reported when the first event of a *later* tick
+     * executes; the final tick stays buffered until
+     * flushTickObserver().
+     */
+    void
+    setTickObserver(TickObserver fn, void *ctx)
+    {
+        tickObs_ = fn;
+        tickCtx_ = ctx;
+    }
+
+    /**
+     * Report the still-buffered last executed tick to the observer
+     * (if any events ran since the previous report) and reset the
+     * burst tracking. Call when no more events will run — e.g. at the
+     * end of a PDES run — so the stream is complete.
+     */
+    void flushTickObserver();
+
   private:
     /** Children per heap node; 4 keeps the tree shallow and the
      *  sift-down child scan within one cache line of records. */
@@ -309,9 +343,12 @@ class EventQueue
     std::size_t pending_ = 0;
     std::uint64_t tombstones_ = 0;
 
-    /** Same-tick burst tracking (stats only). */
+    /** Same-tick burst tracking (stats + tick observer). */
     Tick lastExecTick_ = 0;
     std::uint64_t burst_ = 0;
+
+    TickObserver tickObs_ = nullptr;
+    void *tickCtx_ = nullptr;
 
     std::vector<HeapRecord> heap_;
     std::vector<Slot> slots_;

@@ -1,6 +1,7 @@
 #include "sim/lp.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "sim/pdes_scheduler.hh"
 
@@ -49,6 +50,13 @@ LogicalProcess::publishState(bool idle, bool worked)
 bool
 LogicalProcess::step(Tick limit)
 {
+    using WallClock = std::chrono::steady_clock;
+    const bool timing = sched_.metricsTiming();
+    WallClock::time_point t0{};
+    if (timing)
+        t0 = WallClock::now();
+    ++metrics_.rounds;
+
     // 1. Horizon: the earliest timestamp any other LP could still
     // send. Reading the EOTs *before* draining is load-bearing: a
     // message that is not in an inbox by the time we drain below was
@@ -59,15 +67,32 @@ LogicalProcess::step(Tick limit)
         if (j != id_)
             eit = std::min(eit, sched_.eotOf(j));
     }
+    // Lookahead utilization numerator: how much horizon the other
+    // LPs granted us this round. The endgame value maxTick (all
+    // peers done) is excluded — it is "unbounded", not granted ticks.
+    if (eit != maxTick && eit > lastEit_) {
+        metrics_.grantedTicks += eit - lastEit_;
+        lastEit_ = eit;
+    }
 
     // 2. Fold every inbound message into the local queue.
     const std::uint64_t drained = drainInboxes();
+    metrics_.drained += drained;
+    WallClock::time_point t1{};
+    if (timing)
+        t1 = WallClock::now();
 
     // 3. Execute strictly below the horizon (and never past limit).
     std::uint64_t ran = 0;
+    const Tick nowBefore = sim_.now();
     if (eit > 0)
         ran = sim_.events().runUntil(std::min(eit - 1, limit));
     executed_ += ran;
+    if (ran > 0) {
+        metrics_.consumedTicks += sim_.now() - nowBefore;
+        if (ran > metrics_.maxRoundExecuted)
+            metrics_.maxRoundExecuted = ran;
+    }
 
     // 4. Publish the new output horizon. After step 3 every local
     // event below eit has run, so the next local tick is >= eit
@@ -78,8 +103,20 @@ LogicalProcess::step(Tick limit)
     const Tick base = std::min(next, eit);
     const Tick look = sched_.lookahead();
     const Tick eot = base > maxTick - look ? maxTick : base + look;
-    if (eot > eot_.load(std::memory_order_relaxed))
+    const Tick prevEot = eot_.load(std::memory_order_relaxed);
+    if (eot > prevEot) {
+        // Advance histogram: an advance is event-driven when a
+        // pending local event (not the granted horizon) sets the
+        // base, i.e. real model progress; otherwise the EOT merely
+        // ratcheted along behind the other LPs' horizons.
+        if (next < eit)
+            ++metrics_.eotEventAdvances;
+        else
+            ++metrics_.eotRatchetAdvances;
+        if (eot != maxTick)
+            metrics_.eotAdvanceTicks += eot - prevEot;
         eot_.store(eot, std::memory_order_seq_cst);
+    }
 
     // 5. Publish idle state, then release the drained messages'
     // in-flight counts. The order matters for termination: a checker
@@ -93,7 +130,28 @@ LogicalProcess::step(Tick limit)
     if (drained > 0)
         sched_.inFlight_.fetch_sub(drained, std::memory_order_seq_cst);
 
-    return drained > 0 || ran > 0;
+    const bool progress = drained > 0 || ran > 0;
+    if (progress)
+        ++metrics_.progressRounds;
+    else
+        ++metrics_.blockedRounds;
+    if (timing) {
+        const WallClock::time_point t2 = WallClock::now();
+        const auto ns = [](WallClock::duration d) {
+            return std::chrono::duration<double, std::nano>(d).count();
+        };
+        // A round that made no progress is a blocked-on-EIT spin; its
+        // whole cost is blocked time. Progress rounds split at the
+        // end of the inbox drain (EIT reads + drain vs execute +
+        // publish).
+        if (progress) {
+            metrics_.drainWallNs += ns(t1 - t0);
+            metrics_.execWallNs += ns(t2 - t1);
+        } else {
+            metrics_.blockedWallNs += ns(t2 - t0);
+        }
+    }
+    return progress;
 }
 
 } // namespace macrosim

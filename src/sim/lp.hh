@@ -28,6 +28,50 @@ namespace macrosim
 
 class PdesScheduler;
 
+/**
+ * Horizon-protocol observability for one LP. Counters (rounds,
+ * events, EOT advances) are always on — they are plain increments on
+ * state the step already touches. Wall-clock splits are only
+ * accumulated when PdesScheduler::metricsTiming() is enabled, because
+ * each timed round costs two steady_clock reads.
+ *
+ * Determinism note: the tick-domain counters (drained, consumedTicks,
+ * and the executed count kept by the LP itself) are bit-identical for
+ * every worker-thread count; the round counters, EOT advance split,
+ * grantedTicks and all wall-clock fields depend on real-time
+ * interleaving and are diagnostics only. DESIGN.md §12 keeps the
+ * glossary.
+ */
+struct LpMetrics
+{
+    /** Protocol rounds stepped (progress + blocked). */
+    std::uint64_t rounds = 0;
+    /** Rounds that drained or executed something. */
+    std::uint64_t progressRounds = 0;
+    /** Rounds that spun with nothing under the horizon. */
+    std::uint64_t blockedRounds = 0;
+    /** Cross-LP messages folded out of the inboxes. */
+    std::uint64_t drained = 0;
+    /** Most events executed in a single round. */
+    std::uint64_t maxRoundExecuted = 0;
+    /** EOT advances driven by a pending local event (next < EIT). */
+    std::uint64_t eotEventAdvances = 0;
+    /** EOT advances that merely ratcheted on the granted horizon. */
+    std::uint64_t eotRatchetAdvances = 0;
+    /** Total ticks the published EOT moved (finite advances only). */
+    std::uint64_t eotAdvanceTicks = 0;
+    /** Ticks of horizon granted by the other LPs (EIT growth). */
+    std::uint64_t grantedTicks = 0;
+    /** Ticks of simulated time actually consumed executing. */
+    std::uint64_t consumedTicks = 0;
+    /** Wall-clock spent in progress rounds up to the drain, ns. */
+    double drainWallNs = 0.0;
+    /** Wall-clock spent executing + publishing in progress rounds. */
+    double execWallNs = 0.0;
+    /** Wall-clock spent in rounds that made no progress, ns. */
+    double blockedWallNs = 0.0;
+};
+
 class LogicalProcess
 {
   public:
@@ -73,6 +117,10 @@ class LogicalProcess
     /** Events executed by this LP (cumulative). */
     std::uint64_t executed() const { return executed_; }
 
+    /** Horizon-protocol counters. Single-writer (the owning worker);
+     *  read from other threads only after the run has joined. */
+    const LpMetrics &metrics() const { return metrics_; }
+
   private:
     /** Drain every inbound channel into the local queue as keyed
      *  events. @return messages drained (in-flight count is released
@@ -88,6 +136,9 @@ class LogicalProcess
     std::uint64_t executed_ = 0;
     std::uint64_t stepVersion_ = 0;
     bool lastIdle_ = false;
+    LpMetrics metrics_;
+    /** Largest finite EIT seen, for grantedTicks accounting. */
+    Tick lastEit_ = 0;
 
     /** Published horizon data, each on its own cache line: the other
      *  LPs' workers poll these every step. */

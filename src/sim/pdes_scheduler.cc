@@ -1,6 +1,7 @@
 #include "sim/pdes_scheduler.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <future>
 #include <thread>
@@ -8,6 +9,7 @@
 
 #include "sim/logging.hh"
 #include "sim/random.hh"
+#include "sim/telemetry/pdes_trace.hh"
 #include "sim/thread_pool.hh"
 
 namespace macrosim
@@ -63,6 +65,65 @@ PdesScheduler::PdesScheduler(std::uint32_t lp_count,
         }
     }
     targets_.assign(lp_count, nullptr);
+    registerStats();
+}
+
+void
+PdesScheduler::registerStats()
+{
+    const std::uint32_t n = lpCount();
+    StatScope pdes(telemetry_, "pdes");
+    pdes.add("lp_count", [n] { return static_cast<double>(n); });
+    pdes.add("lookahead", [this] {
+        return static_cast<double>(lookahead_);
+    });
+    pdes.add("cross_posts", [this] {
+        return static_cast<double>(crossPosts());
+    });
+    pdes.add("spills", [this] {
+        return static_cast<double>(spills());
+    });
+    const auto u64 = [](const std::uint64_t &v) {
+        return [p = &v] { return static_cast<double>(*p); };
+    };
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const LogicalProcess *lp = lps_[i].get();
+        const LpMetrics &m = lp->metrics();
+        StatScope s = pdes.scope("lp" + std::to_string(i));
+        s.add("executed",
+              [lp] { return static_cast<double>(lp->executed()); });
+        s.add("rounds", u64(m.rounds));
+        s.add("progress_rounds", u64(m.progressRounds));
+        s.add("blocked_rounds", u64(m.blockedRounds));
+        s.add("drained", u64(m.drained));
+        s.add("max_round_events", u64(m.maxRoundExecuted));
+        s.add("eot_event_advances", u64(m.eotEventAdvances));
+        s.add("eot_ratchet_advances", u64(m.eotRatchetAdvances));
+        s.add("eot_advance_ticks", u64(m.eotAdvanceTicks));
+        s.add("granted_ticks", u64(m.grantedTicks));
+        s.add("consumed_ticks", u64(m.consumedTicks));
+        s.add("drain_wall_ns", [&m] { return m.drainWallNs; });
+        s.add("exec_wall_ns", [&m] { return m.execWallNs; });
+        s.add("blocked_wall_ns", [&m] { return m.blockedWallNs; });
+    }
+    for (std::uint32_t src = 0; src < n; ++src) {
+        for (std::uint32_t dst = 0; dst < n; ++dst) {
+            if (src == dst)
+                continue;
+            const SpscChannel<PdesEvent> *ch =
+                channels_[static_cast<std::size_t>(src) * n + dst]
+                    .get();
+            StatScope s = pdes.scope("ch" + std::to_string(src) + "_"
+                                     + std::to_string(dst));
+            s.add("posts",
+                  [ch] { return static_cast<double>(ch->posts()); });
+            s.add("spills",
+                  [ch] { return static_cast<double>(ch->spills()); });
+            s.add("peak_depth", [ch] {
+                return static_cast<double>(ch->peakDepth());
+            });
+        }
+    }
 }
 
 void
@@ -126,6 +187,10 @@ PdesScheduler::post(std::uint32_t src_lp, std::uint32_t dst_lp,
               " + lookahead ", lookahead_, "); the topology's "
               "pdesLookahead() is not a true lower bound");
     }
+    // The tracer records into the *source* LP's shard, so this call
+    // shares post()'s single-producer contract.
+    if (tracer_ != nullptr)
+        tracer_->recordPost(src_lp, dst_lp, src_now, ev);
     // Count the message in flight *before* it becomes visible, so the
     // termination check can never observe the channel-resident message
     // as neither in flight nor scheduled.
@@ -221,6 +286,138 @@ PdesScheduler::spills() const
             total += ch->spills();
     }
     return total;
+}
+
+void
+PdesScheduler::setTracer(PdesTracer *tracer)
+{
+    if (tracer != nullptr && tracer_ != nullptr && tracer != tracer_)
+        panic("PdesScheduler::setTracer: a tracer is already attached");
+    tracer_ = tracer;
+}
+
+PdesLoadReport
+PdesScheduler::loadReport() const
+{
+    PdesLoadReport r;
+    const std::uint32_t n = lpCount();
+    r.lookahead = lookahead_;
+    r.timed = metricsTiming_;
+    r.crossPosts = crossPosts();
+    r.spills = spills();
+    std::vector<std::uint64_t> sitesPer(n, 0);
+    for (std::uint32_t g : siteLp_)
+        ++sitesPer[g];
+    r.lps.reserve(n);
+    r.minExecuted = maxTick;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const LogicalProcess &lp = *lps_[i];
+        const LpMetrics &m = lp.metrics();
+        PdesLpLoad row;
+        row.lp = i;
+        row.sites = sitesPer[i];
+        row.executed = lp.executed();
+        row.rounds = m.rounds;
+        row.progressRounds = m.progressRounds;
+        row.blockedRounds = m.blockedRounds;
+        row.drained = m.drained;
+        row.maxRoundExecuted = m.maxRoundExecuted;
+        row.eotEventAdvances = m.eotEventAdvances;
+        row.eotRatchetAdvances = m.eotRatchetAdvances;
+        row.grantedTicks = m.grantedTicks;
+        row.consumedTicks = m.consumedTicks;
+        row.drainWallNs = m.drainWallNs;
+        row.execWallNs = m.execWallNs;
+        row.blockedWallNs = m.blockedWallNs;
+        for (std::uint32_t d = 0; d < n; ++d) {
+            if (d == i)
+                continue;
+            const SpscChannel<PdesEvent> &ch =
+                *channels_[static_cast<std::size_t>(i) * n + d];
+            row.posts += ch.posts();
+            row.spills += ch.spills();
+            row.peakDepth = std::max<std::uint64_t>(row.peakDepth,
+                                                    ch.peakDepth());
+        }
+        r.totalExecuted += row.executed;
+        r.minExecuted = std::min(r.minExecuted, row.executed);
+        r.maxExecuted = std::max(r.maxExecuted, row.executed);
+        r.drainWallNs += row.drainWallNs;
+        r.execWallNs += row.execWallNs;
+        r.blockedWallNs += row.blockedWallNs;
+        r.lps.push_back(row);
+    }
+    r.meanExecuted =
+        static_cast<double>(r.totalExecuted) / std::max(1u, n);
+    r.eventImbalance = r.meanExecuted > 0.0
+        ? static_cast<double>(r.maxExecuted) / r.meanExecuted
+        : 0.0;
+    // Critical LP: most busy wall time when timed (ties: most events,
+    // then lowest id); most events otherwise.
+    for (std::uint32_t i = 1; i < n; ++i) {
+        const PdesLpLoad &a = r.lps[i];
+        const PdesLpLoad &b = r.lps[r.criticalLp];
+        const bool busier = r.timed
+            ? (a.busyWallNs() > b.busyWallNs()
+               || (a.busyWallNs() == b.busyWallNs()
+                   && a.executed > b.executed))
+            : a.executed > b.executed;
+        if (busier)
+            r.criticalLp = i;
+    }
+    const double total =
+        r.drainWallNs + r.execWallNs + r.blockedWallNs;
+    r.blockedFraction = total > 0.0 ? r.blockedWallNs / total : 0.0;
+    return r;
+}
+
+void
+PdesLoadReport::print(std::ostream &os) const
+{
+    using Ull = unsigned long long;
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "[pdes] %u LPs  lookahead=%llu ticks  events=%llu  "
+        "cross_posts=%llu (spills=%llu)  imbalance=%.3f  "
+        "critical=lp%u  blocked=%.1f%%%s\n",
+        static_cast<unsigned>(lps.size()), static_cast<Ull>(lookahead),
+        static_cast<Ull>(totalExecuted), static_cast<Ull>(crossPosts),
+        static_cast<Ull>(spills), eventImbalance, criticalLp,
+        100.0 * blockedFraction,
+        timed ? "" : "  (untimed: wall columns are zero)");
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  %3s %6s %10s %9s %8s %7s %7s %18s %17s %10s %10s"
+                  " %11s\n",
+                  "lp", "sites", "events", "drained", "posts",
+                  "spills", "peak_q", "rounds(prog/blk)",
+                  "eot(evt/ratchet)", "drain_ms", "exec_ms",
+                  "blocked_ms");
+    os << buf;
+    for (const PdesLpLoad &row : lps) {
+        char rounds[48];
+        std::snprintf(rounds, sizeof(rounds), "%llu(%llu/%llu)",
+                      static_cast<Ull>(row.rounds),
+                      static_cast<Ull>(row.progressRounds),
+                      static_cast<Ull>(row.blockedRounds));
+        char eot[40];
+        std::snprintf(eot, sizeof(eot), "%llu/%llu",
+                      static_cast<Ull>(row.eotEventAdvances),
+                      static_cast<Ull>(row.eotRatchetAdvances));
+        std::snprintf(
+            buf, sizeof(buf),
+            "  %3u %6llu %10llu %9llu %8llu %7llu %7llu %18s %17s "
+            "%10.3f %10.3f %11.3f\n",
+            row.lp, static_cast<Ull>(row.sites),
+            static_cast<Ull>(row.executed),
+            static_cast<Ull>(row.drained), static_cast<Ull>(row.posts),
+            static_cast<Ull>(row.spills),
+            static_cast<Ull>(row.peakDepth), rounds, eot,
+            row.drainWallNs / 1e6, row.execWallNs / 1e6,
+            row.blockedWallNs / 1e6);
+        os << buf;
+    }
 }
 
 } // namespace macrosim

@@ -47,15 +47,86 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <ostream>
+#include <string>
 #include <vector>
 
 #include "sim/event.hh"
 #include "sim/lp.hh"
 #include "sim/spsc.hh"
+#include "sim/telemetry/registry.hh"
 #include "sim/ticks.hh"
 
 namespace macrosim
 {
+
+class PdesTracer;
+
+/**
+ * One LP's row of the end-of-run load-balance report: a snapshot of
+ * the LP's LpMetrics plus its outgoing-channel totals. The
+ * tick-domain fields (sites, executed, drained, posts) are
+ * thread-count invariant; everything wall-clock or round-counted is
+ * a real-time diagnostic (see DESIGN.md §12).
+ */
+struct PdesLpLoad
+{
+    std::uint32_t lp = 0;
+    /** Sites mapped to this LP (0 when no partition installed). */
+    std::uint64_t sites = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t progressRounds = 0;
+    std::uint64_t blockedRounds = 0;
+    std::uint64_t drained = 0;
+    std::uint64_t maxRoundExecuted = 0;
+    std::uint64_t eotEventAdvances = 0;
+    std::uint64_t eotRatchetAdvances = 0;
+    std::uint64_t grantedTicks = 0;
+    std::uint64_t consumedTicks = 0;
+    /** Outgoing cross-LP posts / spills / peak channel depth. */
+    std::uint64_t posts = 0;
+    std::uint64_t spills = 0;
+    std::uint64_t peakDepth = 0;
+    double drainWallNs = 0.0;
+    double execWallNs = 0.0;
+    double blockedWallNs = 0.0;
+
+    /** drain + exec wall time (the LP's useful work), ns. */
+    double busyWallNs() const { return drainWallNs + execWallNs; }
+};
+
+/**
+ * End-of-run load-balance summary across all LPs; built by
+ * PdesScheduler::loadReport() after run() returns (single-writer
+ * metrics are only safe to read once the workers joined).
+ */
+struct PdesLoadReport
+{
+    std::vector<PdesLpLoad> lps;
+    Tick lookahead = 0;
+    /** Whether wall-clock splits were collected (metricsTiming()). */
+    bool timed = false;
+    std::uint64_t totalExecuted = 0;
+    std::uint64_t minExecuted = 0;
+    std::uint64_t maxExecuted = 0;
+    double meanExecuted = 0.0;
+    /** maxExecuted / meanExecuted; 1.0 = perfectly balanced. */
+    double eventImbalance = 0.0;
+    /** LP with the most busy wall time (ties: most events, then
+     *  lowest id). With timing off, falls back to most events. */
+    std::uint32_t criticalLp = 0;
+    std::uint64_t crossPosts = 0;
+    std::uint64_t spills = 0;
+    double drainWallNs = 0.0;
+    double execWallNs = 0.0;
+    double blockedWallNs = 0.0;
+    /** blocked / (busy + blocked) over all LPs; 0 when not timed. */
+    double blockedFraction = 0.0;
+
+    /** Aligned human-readable table (one header + one row per LP). */
+    void print(std::ostream &os) const;
+};
 
 /** Payload bytes a cross-LP event can carry inline (a Message plus a
  *  little routing context must fit; checked by static_asserts at the
@@ -189,8 +260,44 @@ class PdesScheduler
      *  but any value is correct — overflow spills, never drops). */
     std::uint64_t spills() const;
 
+    /**
+     * Enable wall-clock round timing in every LP's step (two
+     * steady_clock reads per round). Off by default so the horizon
+     * protocol's hot loop stays clock-free; the timed benches turn it
+     * on to fill the report's busy/blocked breakdown.
+     */
+    void setMetricsTiming(bool on) { metricsTiming_ = on; }
+    bool metricsTiming() const { return metricsTiming_; }
+
+    /**
+     * The scheduler's own stat registry: per-LP horizon metrics under
+     * "pdes.lp<N>.*", per-ordered-pair channel stats under
+     * "pdes.ch<src>_<dst>.*", and scheduler totals under "pdes.*".
+     * Populated at construction; dump only after run() returns (the
+     * getters read single-writer worker state).
+     */
+    StatRegistry &telemetry() { return telemetry_; }
+
+    /**
+     * Snapshot the per-LP metrics into a load-balance report.
+     * Call after run() returns — reads unsynchronized worker state.
+     */
+    PdesLoadReport loadReport() const;
+
+    /**
+     * Attach the Perfetto tracer notified on every cross-LP post
+     * (PdesTracer installs per-LP tick observers itself). One tracer
+     * at a time; pass nullptr to detach.
+     */
+    void setTracer(PdesTracer *tracer);
+    PdesTracer *tracer() const { return tracer_; }
+
   private:
     friend class LogicalProcess;
+    friend class PdesTracer;
+
+    /** Register the pdes.* subtree into telemetry_ (ctor helper). */
+    void registerStats();
 
     Tick eotOf(std::uint32_t j) const { return lps_[j]->eot(); }
 
@@ -208,6 +315,9 @@ class PdesScheduler
     /** Workers participating in the current run() (<= threads_). */
     std::size_t activeWorkers_ = 1;
     Tick lookahead_ = 0;
+    bool metricsTiming_ = false;
+    PdesTracer *tracer_ = nullptr;
+    StatRegistry telemetry_;
     std::vector<std::unique_ptr<LogicalProcess>> lps_;
     /** Ordered-pair channels, src * lpCount + dst (diagonal unused). */
     std::vector<std::unique_ptr<SpscChannel<PdesEvent>>> channels_;

@@ -52,9 +52,11 @@ class SpscChannel
     {
         const std::size_t tail = tail_.load(std::memory_order_relaxed);
         const std::size_t head = head_.load(std::memory_order_acquire);
+        ++posts_;
         if (tail - head < ring_.size()) {
             ring_[tail & mask_] = v;
             tail_.store(tail + 1, std::memory_order_release);
+            notePeak(tail - head + 1);
             return;
         }
         {
@@ -62,7 +64,9 @@ class SpscChannel
             spill_.push_back(v);
         }
         spillCount_.fetch_add(1, std::memory_order_relaxed);
-        spillPending_.fetch_add(1, std::memory_order_release);
+        const std::uint64_t backlog =
+            spillPending_.fetch_add(1, std::memory_order_release) + 1;
+        notePeak(ring_.size() + backlog);
     }
 
     /** Consumer side. @return whether @p out was filled. Ring first,
@@ -98,12 +102,31 @@ class SpscChannel
         return spillCount_.load(std::memory_order_relaxed);
     }
 
+    /** Total pushes (ring + spill lane). Producer-written without
+     *  synchronization: read only from the producer thread or after
+     *  it has quiesced (the PDES scheduler reads post-join). */
+    std::uint64_t posts() const { return posts_; }
+
+    /** High-water occupancy observed at push time (ring depth plus
+     *  any spill backlog). Same single-writer contract as posts(). */
+    std::uint64_t peakDepth() const { return peak_; }
+
   private:
+    void
+    notePeak(std::uint64_t depth)
+    {
+        if (depth > peak_)
+            peak_ = depth;
+    }
+
     std::vector<T> ring_;
     std::size_t mask_ = 0;
     /** Producer and consumer indices on separate cache lines so the
      *  two endpoint threads do not false-share. */
+    /** Producer-private counters live beside the producer index. */
     alignas(64) std::atomic<std::size_t> tail_{0};
+    std::uint64_t posts_ = 0;
+    std::uint64_t peak_ = 0;
     alignas(64) std::atomic<std::size_t> head_{0};
     alignas(64) std::atomic<std::uint64_t> spillPending_{0};
     std::atomic<std::uint64_t> spillCount_{0};

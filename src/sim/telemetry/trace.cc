@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "sim/logging.hh"
+#include "sim/telemetry/registry.hh"
+
 namespace macrosim
 {
 
@@ -79,9 +82,26 @@ TraceSink::push(TraceEvent ev)
 {
     if (events_.size() >= capacity_) {
         events_.pop_front();
-        ++dropped_;
+        if (++dropped_ == 1) {
+            warn_once("TraceSink: ring capacity (", capacity_,
+                      " events) exceeded; oldest events are being "
+                      "dropped — the trace is truncated (see the "
+                      "trace_dropped_events metadata row and the "
+                      "<prefix>.dropped stat)");
+        }
     }
     events_.push_back(std::move(ev));
+}
+
+void
+TraceSink::regStats(StatRegistry &registry,
+                    const std::string &prefix) const
+{
+    const TraceSink *s = this;
+    registry.add(prefix + ".events",
+                 [s] { return static_cast<double>(s->size()); });
+    registry.add(prefix + ".dropped",
+                 [s] { return static_cast<double>(s->dropped()); });
 }
 
 void

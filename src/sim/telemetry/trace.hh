@@ -39,6 +39,8 @@
 namespace macrosim
 {
 
+class StatRegistry;
+
 /** One trace-event record; prefer the typed TraceSink appenders. */
 struct TraceEvent
 {
@@ -104,6 +106,15 @@ class TraceSink
     std::size_t capacity() const { return capacity_; }
     /** Events evicted because the ring was full. */
     std::uint64_t dropped() const { return dropped_; }
+
+    /**
+     * Register "<prefix>.events" / "<prefix>.dropped" with @p
+     * registry, so a truncated trace shows up in every stat dump —
+     * not just in the trace's own metadata. The sink must outlive
+     * any dump.
+     */
+    void regStats(StatRegistry &registry,
+                  const std::string &prefix = "trace") const;
 
     const std::deque<TraceEvent> &events() const { return events_; }
 

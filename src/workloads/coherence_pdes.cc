@@ -1,7 +1,9 @@
 #include "workloads/coherence_pdes.hh"
 
 #include <algorithm>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -59,7 +61,8 @@ struct CoherencePdesDriver
 
 CoherencePdesResult
 runCoherencePdes(const PdesNetworkFactory &make_net,
-                 const CoherencePdesConfig &cfg)
+                 const CoherencePdesConfig &cfg,
+                 const PdesObservability *obs)
 {
     // One LP, always: the engine's transaction pool and line locks
     // are global (see the file comment). The run still exercises the
@@ -79,8 +82,12 @@ runCoherencePdes(const PdesNetworkFactory &make_net,
     for (SiteId s = 0; s < sites; ++s)
         driver.issue(s);
 
+    std::unique_ptr<PdesTracer> tracer =
+        armPdesObservability(model, obs);
     CoherencePdesResult out;
     out.eventsExecuted = model.sched->run();
+    finishPdesObservability(model, obs, std::move(tracer));
+    out.load = model.sched->loadReport();
     out.effectiveLps = model.effectiveLps;
     out.completed = engine.transactionsCompleted();
     out.messagesSent = engine.messagesSent();

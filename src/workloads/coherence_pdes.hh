@@ -41,6 +41,9 @@ struct CoherencePdesResult
     double maxOpLatencyNs = 0.0;
     std::uint64_t eventsExecuted = 0;
     std::uint32_t effectiveLps = 0;
+    /** Load report (single row — the engine is colocated on one LP,
+     *  see the file comment — but the same shape as the injector's). */
+    PdesLoadReport load;
 };
 
 /**
@@ -49,7 +52,9 @@ struct CoherencePdesResult
  * result a pure function of the config.
  */
 CoherencePdesResult runCoherencePdes(const PdesNetworkFactory &make_net,
-                                     const CoherencePdesConfig &cfg);
+                                     const CoherencePdesConfig &cfg,
+                                     const PdesObservability *obs =
+                                         nullptr);
 
 } // namespace macrosim
 

@@ -1,6 +1,8 @@
 #include "workloads/packet_injector.hh"
 
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "sim/logging.hh"
 
@@ -199,7 +201,7 @@ struct PdesInjectorState
 PdesInjectorResult
 runOpenLoopPdes(const PdesNetworkFactory &make_net,
                 const InjectorConfig &cfg, std::uint32_t lps,
-                std::size_t threads)
+                std::size_t threads, const PdesObservability *obs)
 {
     if (cfg.load <= 0.0 || cfg.load > 1.5)
         fatal("runOpenLoopPdes: offered load ", cfg.load,
@@ -245,11 +247,15 @@ runOpenLoopPdes(const PdesNetworkFactory &make_net,
     for (SiteId s = 0; s < site_count; ++s)
         st.scheduleNext(st.model.sched->lpOfSite(s), s);
 
+    std::unique_ptr<PdesTracer> tracer =
+        armPdesObservability(st.model, obs);
     PdesInjectorResult out;
     out.eventsExecuted = st.model.sched->run();
+    finishPdesObservability(st.model, obs, std::move(tracer));
     out.effectiveLps = n_lps;
     out.crossPosts = st.model.sched->crossPosts();
     out.spscSpills = st.model.sched->spills();
+    out.load = st.model.sched->loadReport();
 
     // Fold per-site/per-LP shards in a fixed global order, so the
     // floating-point results do not depend on the partition.

@@ -95,6 +95,9 @@ struct PdesInjectorResult
     /** Cross-LP posts that overflowed an SPSC ring into its locked
      *  spill lane (capacity-tuning telemetry; harmless when > 0). */
     std::uint64_t spscSpills = 0;
+    /** Per-LP load-balance breakdown (PdesScheduler::loadReport();
+     *  wall-clock columns filled when PdesObservability::timing). */
+    PdesLoadReport load;
 };
 
 /**
@@ -112,7 +115,9 @@ struct PdesInjectorResult
 PdesInjectorResult runOpenLoopPdes(const PdesNetworkFactory &make_net,
                                    const InjectorConfig &cfg,
                                    std::uint32_t lps,
-                                   std::size_t threads = 0);
+                                   std::size_t threads = 0,
+                                   const PdesObservability *obs =
+                                       nullptr);
 
 } // namespace macrosim
 

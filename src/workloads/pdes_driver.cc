@@ -1,6 +1,7 @@
 #include "workloads/pdes_driver.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "sim/logging.hh"
 
@@ -42,6 +43,50 @@ buildPdesModel(const PdesNetworkFactory &make_net, std::uint32_t lps,
     }
     model.sched->setLookahead(model.nets.front()->pdesLookahead());
     return model;
+}
+
+std::unique_ptr<PdesTracer>
+armPdesObservability(PdesModel &model, const PdesObservability *obs)
+{
+    if (obs == nullptr)
+        return nullptr;
+    model.sched->setMetricsTiming(obs->timing);
+    if (obs->profile) {
+        for (std::uint32_t i = 0; i < model.effectiveLps; ++i)
+            model.sched->simOf(i).events().setProfiling(true);
+    }
+    if (obs->trace != nullptr) {
+        return std::make_unique<PdesTracer>(*model.sched,
+                                            obs->traceShardCapacity,
+                                            obs->flowSampleMask);
+    }
+    return nullptr;
+}
+
+void
+finishPdesObservability(PdesModel &model,
+                        const PdesObservability *obs,
+                        std::unique_ptr<PdesTracer> tracer)
+{
+    if (obs == nullptr)
+        return;
+    if (tracer != nullptr && obs->trace != nullptr)
+        tracer->finish(*obs->trace);
+    if (obs->profile && obs->profileOut != nullptr) {
+        // Fixed LP order: the fold's *layout* is thread-count
+        // invariant even though the wall times inside are not.
+        std::ostringstream os;
+        for (std::uint32_t i = 0; i < model.effectiveLps; ++i) {
+            os << "[pdes lp" << i << " event profile]\n";
+            model.sched->simOf(i).events().dumpProfile(os);
+        }
+        *obs->profileOut = os.str();
+    }
+    if (obs->metricsOut != nullptr) {
+        std::ostringstream os;
+        model.sched->telemetry().dump(os);
+        *obs->metricsOut = os.str();
+    }
 }
 
 } // namespace macrosim

@@ -17,10 +17,12 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/network.hh"
 #include "sim/pdes_scheduler.hh"
+#include "sim/telemetry/pdes_trace.hh"
 
 namespace macrosim
 {
@@ -54,6 +56,52 @@ struct PdesModel
 PdesModel buildPdesModel(const PdesNetworkFactory &make_net,
                          std::uint32_t lps, std::size_t threads,
                          std::uint64_t seed);
+
+/**
+ * Optional observability for a PDES workload run. Every field
+ * defaults off, and the workload entry points take a null pointer to
+ * mean "no observability" — the instrumented paths cost nothing when
+ * unused, so results stay byte-identical with telemetry off.
+ */
+struct PdesObservability
+{
+    /** Collect per-round wall-clock splits (two steady_clock reads
+     *  per horizon round) so the load report's busy/blocked columns
+     *  fill in. */
+    bool timing = false;
+    /** Enable the per-LP event-loop self-profiler. */
+    bool profile = false;
+    /** When set, receive the merged Perfetto timeline (PdesTracer). */
+    TraceSink *trace = nullptr;
+    /** Per-LP tracer shard ring capacity. */
+    std::size_t traceShardCapacity = 1 << 16;
+    /** Record a cross-LP flow arrow when (key & mask) == 0. */
+    std::uint64_t flowSampleMask = 63;
+    /** When set with profile: the per-LP profiler tables, folded in
+     *  fixed LP order (thread-count invariant layout; the wall-time
+     *  numbers inside are real-time measurements). */
+    std::string *profileOut = nullptr;
+    /** When set: a "name value" dump of the scheduler's pdes.*
+     *  registry after the run. */
+    std::string *metricsOut = nullptr;
+};
+
+/**
+ * Arm the scheduler-side observability on @p model before run():
+ * timing flag, per-LP profilers, and the tracer (returned; it must
+ * outlive the run). Null @p obs arms nothing.
+ */
+std::unique_ptr<PdesTracer>
+armPdesObservability(PdesModel &model, const PdesObservability *obs);
+
+/**
+ * After run() returns: merge the tracer shards into obs->trace, fold
+ * the per-LP profiles into obs->profileOut, and dump the scheduler
+ * registry into obs->metricsOut.
+ */
+void finishPdesObservability(PdesModel &model,
+                             const PdesObservability *obs,
+                             std::unique_ptr<PdesTracer> tracer);
 
 } // namespace macrosim
 

@@ -233,6 +233,57 @@ TEST(EventQueue, StatsCountCoreActivity)
     EXPECT_EQ(q.executed(), s.executed);
 }
 
+TEST(EventQueue, TickObserverReportsPerTickCounts)
+{
+    using TickCounts = std::vector<std::pair<Tick, std::uint64_t>>;
+    EventQueue q;
+    TickCounts seen;
+    q.setTickObserver(
+        [](void *ctx, Tick t, std::uint64_t n) {
+            static_cast<TickCounts *>(ctx)->emplace_back(t, n);
+        },
+        &seen);
+    for (int i = 0; i < 3; ++i)
+        q.schedule(5, [] {});
+    // An event scheduling into its own tick joins the same burst.
+    q.schedule(9, [&q] { q.schedule(9, [] {}); });
+    q.schedule(12, [] {});
+    q.runUntil();
+    // A tick is reported when a later tick starts executing; the
+    // final one stays buffered until the flush.
+    const TickCounts beforeFlush = {{5, 3}, {9, 2}};
+    EXPECT_EQ(seen, beforeFlush);
+    q.flushTickObserver();
+    const TickCounts all = {{5, 3}, {9, 2}, {12, 1}};
+    EXPECT_EQ(seen, all);
+    // Nothing ran since the last report: flushing again is a no-op.
+    q.flushTickObserver();
+    EXPECT_EQ(seen, all);
+}
+
+TEST(EventQueue, TickObserverSpansRunUntilSegments)
+{
+    using TickCounts = std::vector<std::pair<Tick, std::uint64_t>>;
+    EventQueue q;
+    TickCounts seen;
+    q.setTickObserver(
+        [](void *ctx, Tick t, std::uint64_t n) {
+            static_cast<TickCounts *>(ctx)->emplace_back(t, n);
+        },
+        &seen);
+    q.schedule(5, [] {});
+    q.schedule(5, [] {});
+    q.schedule(10, [] {});
+    // The horizon protocol runs the queue in bounded segments; the
+    // stream must look the same as one uninterrupted run.
+    q.runUntil(7);
+    EXPECT_TRUE(seen.empty()); // tick 5 still buffered
+    q.runUntil(20);
+    q.flushTickObserver();
+    const TickCounts all = {{5, 2}, {10, 1}};
+    EXPECT_EQ(seen, all);
+}
+
 TEST(EventQueue, TombstoneCompactionPreservesOrder)
 {
     // Cancel enough events that the heap compacts, then check the

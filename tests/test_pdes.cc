@@ -12,6 +12,8 @@
 #include <cmath>
 #include <cstring>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,6 +25,8 @@
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "sim/spsc.hh"
+#include "sim/telemetry/json.hh"
+#include "sim/telemetry/trace.hh"
 #include "workloads/coherence_pdes.hh"
 #include "workloads/packet_injector.hh"
 
@@ -397,6 +401,231 @@ TEST(PdesCoherence, ReproducibleThroughKeyedDeliveries)
     EXPECT_EQ(a.meanOpLatencyNs, b.meanOpLatencyNs);
     EXPECT_EQ(a.maxOpLatencyNs, b.maxOpLatencyNs);
     EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+}
+
+// -------------------------------------------------- block partition
+
+TEST(BlockPartition, SingleGroupMapsEverySiteToZero)
+{
+    const std::vector<std::uint32_t> map =
+        PdesScheduler::blockPartition(17, 1);
+    ASSERT_EQ(map.size(), 17u);
+    for (const std::uint32_t g : map)
+        EXPECT_EQ(g, 0u);
+}
+
+TEST(BlockPartition, MoreGroupsThanSitesClampsToIdentity)
+{
+    // lps > sites clamps to one site per LP; effective LP count is
+    // the site count, so every group id stays in range.
+    const std::vector<std::uint32_t> map =
+        PdesScheduler::blockPartition(4, 9);
+    ASSERT_EQ(map.size(), 4u);
+    for (std::uint32_t s = 0; s < 4; ++s)
+        EXPECT_EQ(map[s], s);
+}
+
+TEST(BlockPartition, RemainderGoesToLeadingGroups)
+{
+    // 10 sites over 4 groups: 10 % 4 = 2 leading groups get the
+    // extra site -> sizes {3, 3, 2, 2}, contiguous.
+    const std::vector<std::uint32_t> expect = {0, 0, 0, 1, 1, 1,
+                                               2, 2, 3, 3};
+    EXPECT_EQ(PdesScheduler::blockPartition(10, 4), expect);
+}
+
+TEST(BlockPartition, ZeroSitesYieldsEmptyMap)
+{
+    EXPECT_TRUE(PdesScheduler::blockPartition(0, 3).empty());
+}
+
+TEST(BlockPartition, ContiguousBalancedBandsProperty)
+{
+    // The lookahead floor depends on groups being contiguous
+    // row-major bands: sweep (sites, lps) and check the map is
+    // nondecreasing, every group is non-empty, sizes differ by at
+    // most one, and the larger groups come first.
+    for (std::uint32_t sites = 1; sites <= 40; ++sites) {
+        for (std::uint32_t lps = 1; lps <= 12; ++lps) {
+            const std::vector<std::uint32_t> map =
+                PdesScheduler::blockPartition(sites, lps);
+            ASSERT_EQ(map.size(), sites);
+            const std::uint32_t groups = std::min(lps, sites);
+            std::vector<std::uint32_t> count(groups, 0);
+            for (std::uint32_t s = 0; s < sites; ++s) {
+                if (s > 0) {
+                    ASSERT_GE(map[s], map[s - 1])
+                        << "sites=" << sites << " lps=" << lps;
+                    ASSERT_LE(map[s], map[s - 1] + 1);
+                }
+                ASSERT_LT(map[s], groups);
+                ++count[map[s]];
+            }
+            for (std::uint32_t g = 0; g < groups; ++g) {
+                ASSERT_GE(count[g], 1u);
+                ASSERT_LE(count[g] - count[groups - 1], 1u);
+                if (g > 0) {
+                    ASSERT_LE(count[g], count[g - 1]);
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------ observability
+
+TEST(PdesObservabilityRun, LoadReportTickDomainFieldsAreInvariant)
+{
+    // Round counts, EOT advances and wall times are real-time
+    // diagnostics; everything in the tick domain must be
+    // bit-identical for every worker-thread count.
+    const InjectorConfig cfg = pdesCfg(0.10, 11);
+    const PdesInjectorResult a =
+        runOpenLoopPdes(pt2ptFactory(), cfg, 4, 1);
+    const PdesInjectorResult b =
+        runOpenLoopPdes(pt2ptFactory(), cfg, 4, 3);
+    ASSERT_EQ(a.load.lps.size(), 4u);
+    ASSERT_EQ(b.load.lps.size(), 4u);
+    EXPECT_EQ(a.load.totalExecuted, b.load.totalExecuted);
+    EXPECT_EQ(a.load.crossPosts, b.load.crossPosts);
+    EXPECT_EQ(a.load.minExecuted, b.load.minExecuted);
+    EXPECT_EQ(a.load.maxExecuted, b.load.maxExecuted);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        const PdesLpLoad &x = a.load.lps[i];
+        const PdesLpLoad &y = b.load.lps[i];
+        EXPECT_EQ(x.sites, y.sites);
+        EXPECT_EQ(x.executed, y.executed);
+        EXPECT_EQ(x.drained, y.drained);
+        EXPECT_EQ(x.posts, y.posts);
+        EXPECT_EQ(x.consumedTicks, y.consumedTicks);
+    }
+}
+
+TEST(PdesObservabilityRun, LoadReportInternalConsistency)
+{
+    const InjectorConfig cfg = pdesCfg(0.10, 13);
+    PdesObservability obs;
+    obs.timing = true;
+    std::string metrics;
+    obs.metricsOut = &metrics;
+    const PdesInjectorResult r =
+        runOpenLoopPdes(pt2ptFactory(), cfg, 4, 2, &obs);
+    const PdesLoadReport &load = r.load;
+    ASSERT_EQ(load.lps.size(), 4u);
+    EXPECT_TRUE(load.timed);
+    EXPECT_GT(load.lookahead, 0u);
+    EXPECT_EQ(load.totalExecuted, r.eventsExecuted);
+    EXPECT_EQ(load.crossPosts, r.crossPosts);
+    EXPECT_EQ(load.spills, r.spscSpills);
+    std::uint64_t executed = 0, drained = 0, posts = 0;
+    for (const PdesLpLoad &lp : load.lps) {
+        EXPECT_EQ(lp.rounds, lp.progressRounds + lp.blockedRounds);
+        EXPECT_GT(lp.rounds, 0u);
+        EXPECT_GE(lp.maxRoundExecuted, 1u);
+        // Every round is classified somewhere in the wall split.
+        EXPECT_GT(lp.busyWallNs(), 0.0);
+        executed += lp.executed;
+        drained += lp.drained;
+        posts += lp.posts;
+    }
+    EXPECT_EQ(executed, load.totalExecuted);
+    // Every cross post is drained by its destination exactly once.
+    EXPECT_EQ(posts, load.crossPosts);
+    EXPECT_EQ(drained, load.crossPosts);
+    EXPECT_GE(load.eventImbalance, 1.0);
+    EXPECT_GE(load.blockedFraction, 0.0);
+    EXPECT_LE(load.blockedFraction, 1.0);
+    EXPECT_LT(load.criticalLp, 4u);
+    // The registry dump names every LP and channel subtree.
+    EXPECT_NE(metrics.find("pdes.lp0.executed"), std::string::npos);
+    EXPECT_NE(metrics.find("pdes.lp3.granted_ticks"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("pdes.ch0_1.posts"), std::string::npos);
+    EXPECT_NE(metrics.find("pdes.ch3_2.peak_depth"),
+              std::string::npos);
+    // The report prints without tripping any stream state.
+    std::ostringstream table;
+    load.print(table);
+    EXPECT_NE(table.str().find("critical=lp"), std::string::npos);
+}
+
+TEST(PdesObservabilityRun, UntimedRunLeavesWallColumnsZero)
+{
+    const InjectorConfig cfg = pdesCfg(0.05, 17);
+    const PdesInjectorResult r =
+        runOpenLoopPdes(pt2ptFactory(), cfg, 2, 2);
+    EXPECT_FALSE(r.load.timed);
+    for (const PdesLpLoad &lp : r.load.lps) {
+        EXPECT_EQ(lp.drainWallNs, 0.0);
+        EXPECT_EQ(lp.execWallNs, 0.0);
+        EXPECT_EQ(lp.blockedWallNs, 0.0);
+        EXPECT_GT(lp.rounds, 0u);
+    }
+}
+
+TEST(PdesObservabilityRun, ProfileFoldsInFixedLpOrder)
+{
+    const InjectorConfig cfg = pdesCfg(0.05, 19);
+    PdesObservability obs;
+    obs.profile = true;
+    std::string profile;
+    obs.profileOut = &profile;
+    runOpenLoopPdes(pt2ptFactory(), cfg, 2, 2, &obs);
+    const std::size_t lp0 = profile.find("[pdes lp0 event profile]");
+    const std::size_t lp1 = profile.find("[pdes lp1 event profile]");
+    ASSERT_NE(lp0, std::string::npos);
+    ASSERT_NE(lp1, std::string::npos);
+    EXPECT_LT(lp0, lp1);
+    EXPECT_NE(profile.find("pdes.cross"), std::string::npos);
+}
+
+TEST(PdesTraceRun, ByteIdenticalAcrossWorkerThreadCounts)
+{
+    const InjectorConfig cfg = pdesCfg(0.10, 23);
+    const auto capture = [&cfg](std::size_t threads) {
+        TraceSink sink;
+        PdesObservability obs;
+        obs.trace = &sink;
+        const PdesInjectorResult r =
+            runOpenLoopPdes(pt2ptFactory(), cfg, 4, threads, &obs);
+        EXPECT_EQ(r.effectiveLps, 4u);
+        std::ostringstream os;
+        sink.writeJson(os);
+        return os.str();
+    };
+    const std::string t1 = capture(1);
+    const std::string t3 = capture(3);
+    EXPECT_EQ(t1, t3) << "trace must not depend on worker timing";
+    std::string err;
+    EXPECT_TRUE(jsonValid(t1, &err)) << err;
+    // The timeline carries the LP rows, horizon spans, the derived
+    // counter tracks and sampled cross-LP flow arrows.
+    EXPECT_NE(t1.find("\"pdes horizon\""), std::string::npos);
+    EXPECT_NE(t1.find("lp0 sites 0..15"), std::string::npos);
+    EXPECT_NE(t1.find("\"horizon\""), std::string::npos);
+    EXPECT_NE(t1.find("eot.lp0"), std::string::npos);
+    EXPECT_NE(t1.find("eit.floor"), std::string::npos);
+    EXPECT_NE(t1.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(t1.find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST(PdesTraceRun, SingleLpTraceHasNoFlowsOrEitFloor)
+{
+    InjectorConfig cfg = pdesCfg(0.05, 29);
+    cfg.window = 800 * tickNs;
+    TraceSink sink;
+    PdesObservability obs;
+    obs.trace = &sink;
+    runOpenLoopPdes(pt2ptFactory(), cfg, 1, 1, &obs);
+    std::ostringstream os;
+    sink.writeJson(os);
+    const std::string t = os.str();
+    std::string err;
+    EXPECT_TRUE(jsonValid(t, &err)) << err;
+    EXPECT_NE(t.find("\"horizon\""), std::string::npos);
+    // No cross-LP machinery on one LP: no arrows, no EIT floor.
+    EXPECT_EQ(t.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_EQ(t.find("eit.floor"), std::string::npos);
 }
 
 } // namespace

@@ -142,6 +142,28 @@ TEST(TraceExport, GoldenJsonForThreeMessageMicroRun)
     EXPECT_TRUE(jsonValid(os.str()));
 }
 
+TEST(TraceExport, OverflowSurfacesInRegistryAndWarnsOnce)
+{
+    // Must stay the first TraceSink overflow in the binary: the drop
+    // warning is a warn_once, latched per-callsite for the whole
+    // process, and this test pins that exactly one warning fires no
+    // matter how many events are lost.
+    StatRegistry reg;
+    TraceSink sink(4);
+    sink.regStats(reg, "trace.ring");
+    EXPECT_EQ(reg.value("trace.ring.dropped"), 0.0);
+
+    setQuiet(true);
+    const std::uint64_t warningsBefore = warningsIssued();
+    for (int i = 0; i < 10; ++i)
+        sink.instant("e" + std::to_string(i), "sim", 0, 0, Tick(i));
+    // 10 pushes into a 4-slot ring: 6 dropped, visible through the
+    // registered getter.
+    EXPECT_EQ(reg.value("trace.ring.events"), 4.0);
+    EXPECT_EQ(reg.value("trace.ring.dropped"), 6.0);
+    EXPECT_EQ(warningsIssued(), warningsBefore + 1);
+}
+
 TEST(TraceExport, RingDropsOldestAndRecordsTheLoss)
 {
     TraceSink sink(4);
