@@ -107,89 +107,19 @@ runPoint(GridSpec grid, NetId id, std::uint64_t seed,
     return p;
 }
 
-const char *
-slug(NetId id)
-{
-    switch (id) {
-      case NetId::TokenRing: return "tring";
-      case NetId::CircuitSwitched: return "cswitch";
-      case NetId::PointToPoint: return "pt2pt";
-      case NetId::LimitedPtToPt: return "lpt2pt";
-      case NetId::TwoPhase: return "2phase";
-      case NetId::TwoPhaseAlt: return "2phase-alt";
-      case NetId::Hermes: return "hermes";
-    }
-    return "?";
-}
-
-bool
-netFromSlug(const std::string &text, NetId &out)
-{
-    for (const NetId id : extendedNetworks) {
-        if (text == slug(id) || text == netName(id)) {
-            out = id;
-            return true;
-        }
-    }
-    return false;
-}
-
-/** Strip "--<name> <v>" / "--<name>=<v>"; @return the flag's value. */
+/** Positive-integer flag on top of the shared stripNumberFlag(). */
 bool
 numberFlag(int &argc, char **argv, const char *name,
            std::uint32_t &out)
 {
-    const std::string prefix = std::string("--") + name + "=";
-    const std::string bare = std::string("--") + name;
-    for (int i = 1; i < argc; ++i) {
-        const char *text = nullptr;
-        int consumed = 0;
-        if (std::strncmp(argv[i], prefix.c_str(), prefix.size())
-            == 0) {
-            text = argv[i] + prefix.size();
-            consumed = 1;
-        } else if (bare == argv[i] && i + 1 < argc) {
-            text = argv[i + 1];
-            consumed = 2;
-        } else {
-            continue;
-        }
-        const long v = std::atol(text);
-        if (v <= 0)
-            fatal("bench_ext_scalability: --", name,
-                  " must be a positive integer, got '", text, "'");
-        out = static_cast<std::uint32_t>(v);
-        for (int j = i; j + consumed <= argc; ++j)
-            argv[j] = argv[j + consumed];
-        argc -= consumed;
-        return true;
-    }
-    return false;
-}
-
-bool
-textFlag(int &argc, char **argv, const char *name, std::string &out)
-{
-    const std::string prefix = std::string("--") + name + "=";
-    const std::string bare = std::string("--") + name;
-    for (int i = 1; i < argc; ++i) {
-        int consumed = 0;
-        if (std::strncmp(argv[i], prefix.c_str(), prefix.size())
-            == 0) {
-            out = argv[i] + prefix.size();
-            consumed = 1;
-        } else if (bare == argv[i] && i + 1 < argc) {
-            out = argv[i + 1];
-            consumed = 2;
-        } else {
-            continue;
-        }
-        for (int j = i; j + consumed <= argc; ++j)
-            argv[j] = argv[j + consumed];
-        argc -= consumed;
-        return true;
-    }
-    return false;
+    std::uint64_t v = 0;
+    if (!stripNumberFlag(argc, argv, name, &v))
+        return false;
+    if (v == 0 || v > 0xFFFFFFFFull)
+        fatal("bench_ext_scalability: --", name,
+              " must be a positive integer, got ", v);
+    out = static_cast<std::uint32_t>(v);
+    return true;
 }
 
 void
@@ -227,13 +157,15 @@ main(int argc, char **argv)
     const std::size_t jobs = jobsArg(argc, argv);
     simStatsArg(argc, argv);
     const std::uint64_t seed = seedArg(argc, argv, 1);
+    installSweepSignalHandlers();
 
     std::uint32_t rows_flag = 0;
     std::uint32_t cols_flag = 0;
     const bool have_rows = numberFlag(argc, argv, "rows", rows_flag);
     const bool have_cols = numberFlag(argc, argv, "cols", cols_flag);
     std::string net_flag;
-    const bool have_net = textFlag(argc, argv, "network", net_flag);
+    const bool have_net =
+        stripValueFlag(argc, argv, "network", &net_flag);
     const TelemetryOptions topt = telemetryArgs(argc, argv);
 
     std::vector<GridSpec> grids = {{8, 8}, {16, 16}, {24, 24}};
@@ -250,7 +182,7 @@ main(int argc, char **argv)
                             extendedNetworks.end());
     if (have_net) {
         NetId only;
-        if (!netFromSlug(net_flag, only))
+        if (!service::netFromString(net_flag, &only))
             fatal("bench_ext_scalability: unknown --network '",
                   net_flag, "' (try tring, cswitch, pt2pt, lpt2pt, "
                   "2phase, hermes)");
@@ -279,6 +211,8 @@ main(int argc, char **argv)
 
     const std::vector<Point> points =
         SweepRunner(jobs).run("scalability", std::move(sweep));
+    if (sweepInterrupted())
+        return sweepExitStatus();
 
     std::ostringstream json;
     json << "{\n  \"bench\": \"scaling\",\n  \"points\": [\n";
@@ -345,5 +279,5 @@ main(int argc, char **argv)
 
     if (!topt.smoke && !have_net && !have_rows && !have_cols)
         writeTextFile("BENCH_scaling.json", json.str());
-    return 0;
+    return sweepExitStatus();
 }

@@ -22,14 +22,16 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    const std::size_t jobs = jobsArg(argc, argv);
-    simStatsArg(argc, argv);
-    const std::uint64_t seed = seedArg(argc, argv, 1);
-    const TelemetryOptions topt = telemetryArgs(argc, argv);
+    const BenchFlags flags = benchFlags(argc, argv, 1);
+    const std::size_t jobs = flags.jobs;
+    const std::uint64_t seed = flags.seed;
+    const TelemetryOptions &topt = flags.telemetry;
     const std::uint64_t instr =
         instructionsArg(argc, argv, topt.smoke ? 200 : 1200);
     const auto matrix =
         runWorkloadMatrixWithTelemetry(instr, seed, jobs, topt);
+    if (sweepInterrupted())
+        return sweepExitStatus();
 
     std::printf("Figure 10: Energy-Delay Product, Normalized to "
                 "Point-to-Point\n\n");
@@ -60,5 +62,5 @@ main(int argc, char **argv)
         }
         std::printf("\n");
     }
-    return 0;
+    return sweepExitStatus();
 }

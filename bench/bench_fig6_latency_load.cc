@@ -151,10 +151,10 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    const std::size_t jobs = jobsArg(argc, argv);
-    simStatsArg(argc, argv);
-    const std::uint64_t seed = seedArg(argc, argv, 17);
-    const TelemetryOptions topt = telemetryArgs(argc, argv);
+    const BenchFlags flags = benchFlags(argc, argv, 17);
+    const std::size_t jobs = flags.jobs;
+    const std::uint64_t seed = flags.seed;
+    const TelemetryOptions &topt = flags.telemetry;
 
     // --smoke: one pattern, two load points — enough to exercise the
     // full telemetry path in seconds for the CI trace-validation test.
@@ -188,6 +188,8 @@ main(int argc, char **argv)
         }
         std::vector<Curve> curves =
             runner.run("fig6-" + pattern_name, std::move(curve_jobs));
+        if (sweepInterrupted())
+            return sweepExitStatus();
 
         for (const Curve &curve : curves) {
             for (const InjectorResult &r : curve.points) {
@@ -238,5 +240,5 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(
                          merged.trace.dropped()));
     }
-    return 0;
+    return sweepExitStatus();
 }

@@ -26,16 +26,20 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    const std::size_t jobs = jobsArg(argc, argv);
-    simStatsArg(argc, argv);
-    const std::uint64_t seed = seedArg(argc, argv, 1);
-    const TelemetryOptions topt = telemetryArgs(argc, argv);
+    const BenchFlags flags = benchFlags(argc, argv, 1);
+    const std::size_t jobs = flags.jobs;
+    const std::uint64_t seed = flags.seed;
+    const TelemetryOptions &topt = flags.telemetry;
     const std::uint64_t instr =
         instructionsArg(argc, argv, topt.smoke ? 200 : 1200);
     std::fprintf(stderr, "fig7: %llu instructions/core\n",
                  static_cast<unsigned long long>(instr));
     const auto matrix =
         runWorkloadMatrixWithTelemetry(instr, seed, jobs, topt);
+    // An interrupted sweep has holes; there is no partial figure to
+    // print, so exit with the interrupt status (130) right away.
+    if (sweepInterrupted())
+        return sweepExitStatus();
 
     std::printf("Figure 7: Speedup vs. Circuit-Switched Network\n\n");
     std::printf("%-14s", "workload");
@@ -56,5 +60,5 @@ main(int argc, char **argv)
         }
         std::printf("\n");
     }
-    return 0;
+    return sweepExitStatus();
 }

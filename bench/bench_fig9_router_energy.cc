@@ -24,9 +24,9 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    const std::size_t jobs = jobsArg(argc, argv);
-    simStatsArg(argc, argv);
-    const std::uint64_t seed = seedArg(argc, argv, 1);
+    const BenchFlags flags = benchFlags(argc, argv, 1);
+    const std::size_t jobs = flags.jobs;
+    const std::uint64_t seed = flags.seed;
     const std::uint64_t instr = instructionsArg(argc, argv, 1200);
 
     std::printf("Figure 9: Router Energy in the Limited "
@@ -48,12 +48,15 @@ main(int argc, char **argv)
             }});
     }
 
-    for (const TraceCpuResult &r :
-         SweepRunner(jobs).run("fig9-workloads", std::move(sweep))) {
+    const std::vector<TraceCpuResult> results =
+        SweepRunner(jobs).run("fig9-workloads", std::move(sweep));
+    if (sweepInterrupted())
+        return sweepExitStatus();
+    for (const TraceCpuResult &r : results) {
         std::printf("%-14s %11.2f%% %14.4f %14.4f %14.4f\n",
                     r.workload.c_str(), r.routerEnergyPct(),
                     r.routerJoules * 1e3, r.totalJoules * 1e3,
                     r.cpuJoules * 1e3);
     }
-    return 0;
+    return sweepExitStatus();
 }

@@ -429,11 +429,8 @@ checkJobsDeterminism()
 int
 main(int argc, char **argv)
 {
-    bool smoke = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            smoke = true;
-    }
+    installSweepSignalHandlers();
+    const bool smoke = stripSwitch(argc, argv, "smoke");
 
     const CellResult sched = runScheduleHeavy(smoke);
     const CellResult coh = runCoherenceSteadyState(smoke);
@@ -485,5 +482,7 @@ main(int argc, char **argv)
         if (!checkJobsDeterminism())
             ok = false;
     }
-    return ok ? 0 : 1;
+    if (!ok)
+        return 1;
+    return sweepExitStatus();
 }

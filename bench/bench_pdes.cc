@@ -214,6 +214,7 @@ jsonNum(const char *key, double v, const char *fmt = "%.6g")
 int
 main(int argc, char **argv)
 {
+    installSweepSignalHandlers();
     const TelemetryOptions topts = telemetryArgs(argc, argv);
     const bool simStats = simStatsArg(argc, argv);
     const bool smoke = topts.smoke;
@@ -387,5 +388,7 @@ main(int argc, char **argv)
                          "bench_pdes: cannot write BENCH_pdes.json\n");
         }
     }
-    return ok ? 0 : 1;
+    if (!ok)
+        return 1;
+    return sweepExitStatus();
 }

@@ -111,10 +111,10 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    const std::size_t jobs = jobsArg(argc, argv);
-    simStatsArg(argc, argv);
-    const std::uint64_t seed = seedArg(argc, argv, 1);
-    const TelemetryOptions topt = telemetryArgs(argc, argv);
+    const BenchFlags flags = benchFlags(argc, argv, 1);
+    const std::size_t jobs = flags.jobs;
+    const std::uint64_t seed = flags.seed;
+    const TelemetryOptions &topt = flags.telemetry;
 
     std::vector<std::uint32_t> rates = {0, 8, 16, 32};
     if (topt.smoke)
@@ -138,8 +138,11 @@ main(int argc, char **argv)
         }
     }
 
-    for (const Cell &c :
-         SweepRunner(jobs).run("resilience", std::move(sweep))) {
+    const std::vector<Cell> cells =
+        SweepRunner(jobs).run("resilience", std::move(sweep));
+    if (sweepInterrupted())
+        return sweepExitStatus();
+    for (const Cell &c : cells) {
         std::printf("%s,%u,%llu,%llu,%llu,%llu,%.3f,%.2f,%.1f,"
                     "%.2f\n",
                     netName(c.id).c_str(), c.faults,
@@ -150,5 +153,5 @@ main(int argc, char **argv)
                     c.availabilityPct, c.traffic.deliveredPct,
                     c.traffic.p99LatencyNs, c.minMarginDb);
     }
-    return 0;
+    return sweepExitStatus();
 }

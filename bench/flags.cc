@@ -1,0 +1,242 @@
+#include "flags.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/sweep.hh"
+
+namespace macrosim::bench
+{
+
+bool
+stripValueFlag(int &argc, char **argv, const char *name,
+               std::string *value)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        int consumed = 0;
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size())
+            == 0) {
+            *value = argv[i] + prefix.size();
+            consumed = 1;
+        } else if (std::strcmp(argv[i],
+                               (std::string("--") + name).c_str())
+                       == 0
+                   && i + 1 < argc) {
+            *value = argv[i + 1];
+            consumed = 2;
+        } else {
+            continue;
+        }
+        for (int j = i; j + consumed <= argc; ++j)
+            argv[j] = argv[j + consumed];
+        argc -= consumed;
+        return true;
+    }
+    return false;
+}
+
+bool
+stripSwitch(int &argc, char **argv, const char *name)
+{
+    const std::string flag = std::string("--") + name;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag.c_str()) != 0)
+            continue;
+        for (int j = i; j + 1 <= argc; ++j)
+            argv[j] = argv[j + 1];
+        --argc;
+        return true;
+    }
+    return false;
+}
+
+bool
+stripNumberFlag(int &argc, char **argv, const char *name,
+                std::uint64_t *value)
+{
+    std::string text;
+    if (!stripValueFlag(argc, argv, name, &text))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        fatal("--", name, " must be an unsigned integer, got '",
+              text, "'");
+    *value = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+std::size_t
+stripJobsFlag(int &argc, char **argv)
+{
+    std::uint64_t v = 0;
+    if (!stripNumberFlag(argc, argv, "jobs", &v))
+        return 0;
+    return static_cast<std::size_t>(v);
+}
+
+std::size_t
+jobsArg(int &argc, char **argv)
+{
+    return stripJobsFlag(argc, argv);
+}
+
+std::uint64_t
+seedArg(int &argc, char **argv, std::uint64_t fallback)
+{
+    std::string text;
+    if (!stripValueFlag(argc, argv, "seed", &text)) {
+        const char *env = std::getenv("MACROSIM_SEED");
+        if (env == nullptr || *env == '\0')
+            return fallback;
+        text = env;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        fatal("seedArg: --seed / MACROSIM_SEED must be an unsigned "
+              "integer, got '", text, "'");
+    return static_cast<std::uint64_t>(v);
+}
+
+namespace
+{
+
+/** Set by simStatsArg(); the env fallback is evaluated lazily. */
+bool simStatsFlag = false;
+
+bool
+simStatsEnv()
+{
+    const char *env = std::getenv("MACROSIM_SIM_STATS");
+    return env != nullptr && *env != '\0'
+           && std::strcmp(env, "0") != 0;
+}
+
+} // namespace
+
+bool
+simStatsArg(int &argc, char **argv)
+{
+    if (stripSwitch(argc, argv, "sim-stats"))
+        simStatsFlag = true;
+    return simStatsEnabled();
+}
+
+bool
+simStatsEnabled()
+{
+    return simStatsFlag || simStatsEnv();
+}
+
+TelemetryOptions
+telemetryArgs(int &argc, char **argv)
+{
+    TelemetryOptions opts;
+    stripValueFlag(argc, argv, "trace", &opts.tracePath);
+    stripValueFlag(argc, argv, "metrics", &opts.metricsPath);
+    std::string period;
+    if (stripValueFlag(argc, argv, "metrics-period", &period)) {
+        const long long v = std::atoll(period.c_str());
+        if (v <= 0)
+            fatal("telemetryArgs: --metrics-period must be a "
+                  "positive tick count, got '", period, "'");
+        opts.metricsPeriod = static_cast<Tick>(v);
+    }
+    opts.profile = stripSwitch(argc, argv, "profile");
+    opts.smoke = stripSwitch(argc, argv, "smoke");
+    return opts;
+}
+
+BenchFlags
+benchFlags(int &argc, char **argv, std::uint64_t seed_fallback)
+{
+    installSweepSignalHandlers();
+    BenchFlags flags;
+    flags.jobs = jobsArg(argc, argv);
+    flags.simStats = simStatsArg(argc, argv);
+    flags.seed = seedArg(argc, argv, seed_fallback);
+    flags.telemetry = telemetryArgs(argc, argv);
+    return flags;
+}
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        if (end > pos)
+            out.push_back(text.substr(pos, end - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+service::CampaignSpec
+campaignArgs(int &argc, char **argv)
+{
+    service::CampaignSpec spec;
+    if (stripSwitch(argc, argv, "smoke"))
+        spec = service::CampaignSpec::smokeInjector();
+
+    std::string text;
+    if (stripValueFlag(argc, argv, "kind", &text)) {
+        if (text == "injector")
+            spec.kind = service::CampaignKind::InjectorSweep;
+        else if (text == "matrix")
+            spec.kind = service::CampaignKind::WorkloadMatrix;
+        else
+            fatal("--kind must be 'injector' or 'matrix', got '",
+                  text, "'");
+    }
+    if (stripValueFlag(argc, argv, "patterns", &text))
+        spec.patterns = splitList(text);
+    if (stripValueFlag(argc, argv, "networks", &text)) {
+        spec.networks.clear();
+        for (const std::string &name : splitList(text)) {
+            service::NetSel net;
+            if (!service::netFromString(name, &net))
+                fatal("--networks: unknown network '", name, "'");
+            spec.networks.push_back(net);
+        }
+    }
+    if (stripValueFlag(argc, argv, "loads", &text)) {
+        spec.loads.clear();
+        for (const std::string &item : splitList(text)) {
+            errno = 0;
+            char *end = nullptr;
+            const double v = std::strtod(item.c_str(), &end);
+            if (errno != 0 || end == item.c_str() || *end != '\0')
+                fatal("--loads: bad load fraction '", item, "'");
+            spec.loads.push_back(v);
+        }
+    }
+    stripNumberFlag(argc, argv, "warmup-ns", &spec.warmupNs);
+    stripNumberFlag(argc, argv, "window-ns", &spec.windowNs);
+    stripNumberFlag(argc, argv, "instr", &spec.instructionsPerCore);
+    if (stripValueFlag(argc, argv, "workloads", &text))
+        spec.workloads = splitList(text);
+    if (stripSwitch(argc, argv, "cell-stats"))
+        spec.emitCellStats = true;
+    spec.seed = seedArg(argc, argv, spec.seed);
+    return spec;
+}
+
+} // namespace macrosim::bench

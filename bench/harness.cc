@@ -21,39 +21,13 @@ namespace macrosim::bench
 std::string
 netName(NetId id)
 {
-    switch (id) {
-      case NetId::TokenRing: return "Token Ring";
-      case NetId::CircuitSwitched: return "Circuit-Switched";
-      case NetId::PointToPoint: return "Point-to-Point";
-      case NetId::LimitedPtToPt: return "Limited Point-to-Point";
-      case NetId::TwoPhase: return "2-Phase Arb.";
-      case NetId::TwoPhaseAlt: return "2-Phase Arb. ALT";
-      case NetId::Hermes: return "Hermes";
-    }
-    return "?";
+    return service::netDisplayName(id);
 }
 
 std::unique_ptr<Network>
 makeNetwork(NetId id, Simulator &sim, const MacrochipConfig &cfg)
 {
-    switch (id) {
-      case NetId::TokenRing:
-        return std::make_unique<TokenRingCrossbar>(sim, cfg);
-      case NetId::CircuitSwitched:
-        return std::make_unique<CircuitSwitchedTorus>(sim, cfg);
-      case NetId::PointToPoint:
-        return std::make_unique<PointToPointNetwork>(sim, cfg);
-      case NetId::LimitedPtToPt:
-        return std::make_unique<LimitedPointToPointNetwork>(sim, cfg);
-      case NetId::TwoPhase:
-        return std::make_unique<TwoPhaseArbitratedNetwork>(sim, cfg);
-      case NetId::TwoPhaseAlt:
-        return std::make_unique<TwoPhaseArbitratedNetwork>(sim, cfg,
-                                                           true);
-      case NetId::Hermes:
-        return std::make_unique<HermesNetwork>(sim, cfg);
-    }
-    panic("makeNetwork: bad id");
+    return service::makeNetworkFor(id, sim, cfg);
 }
 
 std::vector<WorkloadSpec>
@@ -207,140 +181,6 @@ instructionsArg(int argc, char **argv, std::uint64_t fallback)
             return static_cast<std::uint64_t>(v);
     }
     return fallback;
-}
-
-std::size_t
-jobsArg(int &argc, char **argv)
-{
-    return stripJobsFlag(argc, argv);
-}
-
-namespace
-{
-
-/** Set by simStatsArg(); the env fallback is evaluated lazily. */
-bool simStatsFlag = false;
-
-bool
-simStatsEnv()
-{
-    const char *env = std::getenv("MACROSIM_SIM_STATS");
-    return env != nullptr && *env != '\0'
-           && std::strcmp(env, "0") != 0;
-}
-
-} // namespace
-
-bool
-simStatsArg(int &argc, char **argv)
-{
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--sim-stats") != 0)
-            continue;
-        for (int j = i; j + 1 <= argc; ++j)
-            argv[j] = argv[j + 1];
-        --argc;
-        simStatsFlag = true;
-        break;
-    }
-    return simStatsEnabled();
-}
-
-bool
-simStatsEnabled()
-{
-    return simStatsFlag || simStatsEnv();
-}
-
-namespace
-{
-
-/**
- * Strip "--<name>=<value>" (or "--<name> <value>") from argv.
- * @return Whether the flag was found; @p value receives the text.
- */
-bool
-stripValueFlag(int &argc, char **argv, const char *name,
-               std::string *value)
-{
-    const std::string prefix = std::string("--") + name + "=";
-    for (int i = 1; i < argc; ++i) {
-        int consumed = 0;
-        if (std::strncmp(argv[i], prefix.c_str(), prefix.size())
-            == 0) {
-            *value = argv[i] + prefix.size();
-            consumed = 1;
-        } else if (std::strcmp(argv[i],
-                               (std::string("--") + name).c_str())
-                       == 0
-                   && i + 1 < argc) {
-            *value = argv[i + 1];
-            consumed = 2;
-        } else {
-            continue;
-        }
-        for (int j = i; j + consumed <= argc; ++j)
-            argv[j] = argv[j + consumed];
-        argc -= consumed;
-        return true;
-    }
-    return false;
-}
-
-/** Strip a bare "--<name>" switch; @return whether it was present. */
-bool
-stripSwitch(int &argc, char **argv, const char *name)
-{
-    const std::string flag = std::string("--") + name;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], flag.c_str()) != 0)
-            continue;
-        for (int j = i; j + 1 <= argc; ++j)
-            argv[j] = argv[j + 1];
-        --argc;
-        return true;
-    }
-    return false;
-}
-
-} // namespace
-
-std::uint64_t
-seedArg(int &argc, char **argv, std::uint64_t fallback)
-{
-    std::string text;
-    if (!stripValueFlag(argc, argv, "seed", &text)) {
-        const char *env = std::getenv("MACROSIM_SEED");
-        if (env == nullptr || *env == '\0')
-            return fallback;
-        text = env;
-    }
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
-    if (errno != 0 || end == text.c_str() || *end != '\0')
-        fatal("seedArg: --seed / MACROSIM_SEED must be an unsigned "
-              "integer, got '", text, "'");
-    return static_cast<std::uint64_t>(v);
-}
-
-TelemetryOptions
-telemetryArgs(int &argc, char **argv)
-{
-    TelemetryOptions opts;
-    stripValueFlag(argc, argv, "trace", &opts.tracePath);
-    stripValueFlag(argc, argv, "metrics", &opts.metricsPath);
-    std::string period;
-    if (stripValueFlag(argc, argv, "metrics-period", &period)) {
-        const long long v = std::atoll(period.c_str());
-        if (v <= 0)
-            fatal("telemetryArgs: --metrics-period must be a "
-                  "positive tick count, got '", period, "'");
-        opts.metricsPeriod = static_cast<Tick>(v);
-    }
-    opts.profile = stripSwitch(argc, argv, "profile");
-    opts.smoke = stripSwitch(argc, argv, "smoke");
-    return opts;
 }
 
 void

@@ -14,12 +14,14 @@
 #include <string>
 #include <vector>
 
+#include "flags.hh"
 #include "net/circuit_switched.hh"
 #include "net/hermes.hh"
 #include "net/limited_pt2pt.hh"
 #include "net/pt2pt.hh"
 #include "net/token_ring.hh"
 #include "net/two_phase.hh"
+#include "service/campaign.hh"
 #include "sim/telemetry/sampler.hh"
 #include "sim/telemetry/trace.hh"
 #include "workloads/packet_injector.hh"
@@ -28,16 +30,12 @@
 namespace macrosim::bench
 {
 
-enum class NetId
-{
-    TokenRing,
-    CircuitSwitched,
-    PointToPoint,
-    LimitedPtToPt,
-    TwoPhase,
-    TwoPhaseAlt,
-    Hermes,
-};
+/**
+ * The network selector moved into the service layer (the campaign
+ * types share it with macrosimd); the benches keep their historical
+ * spelling. Enumerator names are unchanged.
+ */
+using NetId = service::NetSel;
 
 /** Figure order: the paper's legend ordering. */
 constexpr std::array<NetId, 6> allNetworks = {
@@ -62,51 +60,21 @@ constexpr std::array<NetId, 6> extendedNetworks = {
     NetId::LimitedPtToPt, NetId::TwoPhase, NetId::Hermes,
 };
 
+/** Display name ("Token Ring"), via service::netDisplayName(). */
 std::string netName(NetId id);
 
+/** Topology factory, via service::makeNetworkFor(). */
 std::unique_ptr<Network> makeNetwork(NetId id, Simulator &sim,
                                      const MacrochipConfig &cfg);
 
 /** Figure 7 x-axis order: six applications then five synthetics. */
 std::vector<WorkloadSpec> figureWorkloads(std::uint64_t instr_per_core);
 
-/**
- * Telemetry knobs shared by every bench binary, stripped from argv
- * by telemetryArgs():
- *   --trace=<file>           write a Perfetto trace-event JSON
- *   --metrics=<file>         write periodic StatRegistry snapshots
- *   --metrics-period=<ticks> snapshot period (default 1 us when
- *                            --metrics is given without it)
- *   --profile                dump the event-loop self-profile table
- *   --smoke                  reduced run for CI smoke tests
+/*
+ * TelemetryOptions/telemetryArgs(), jobsArg(), seedArg() and
+ * simStatsArg() moved to flags.hh (included above) with the rest of
+ * the bench flag parsing.
  */
-struct TelemetryOptions
-{
-    std::string tracePath;
-    std::string metricsPath;
-    Tick metricsPeriod = 0;
-    bool profile = false;
-    bool smoke = false;
-
-    bool tracing() const { return !tracePath.empty(); }
-    bool metrics() const
-    {
-        return metricsPeriod > 0 || !metricsPath.empty();
-    }
-
-    /** The snapshot period to use: the flag, or 1 us unset. */
-    Tick
-    period() const
-    {
-        return metricsPeriod > 0 ? metricsPeriod : tickUs;
-    }
-};
-
-/**
- * Strip the telemetry flags (see TelemetryOptions) from argv,
- * leaving positional arguments where the benches expect them.
- */
-TelemetryOptions telemetryArgs(int &argc, char **argv);
 
 /**
  * Per-run telemetry collected by a matrix/curve cell: a Perfetto
@@ -165,37 +133,6 @@ const TraceCpuResult &find(const std::vector<TraceCpuResult> &matrix,
 /** Instructions per core: argv[1] if given, else @p fallback. */
 std::uint64_t instructionsArg(int argc, char **argv,
                               std::uint64_t fallback);
-
-/**
- * Worker-thread knob shared by every bench: strips "--jobs N" from
- * argv (so positional arguments keep their place) and returns N, or
- * 0 when unset — in which case SweepRunner falls back to
- * MACROSIM_JOBS and then hardware_concurrency().
- */
-std::size_t jobsArg(int &argc, char **argv);
-
-/**
- * Base-seed knob shared by every bench: strips "--seed N" /
- * "--seed=N" from argv (so positional arguments keep their place)
- * and returns N; falls back to the MACROSIM_SEED environment
- * variable, then to @p fallback — each bench's historical hard-coded
- * seed, so default outputs stay byte-identical. Per-cell seeds are
- * still derived from the base via deriveSeed(base, workload, network).
- */
-std::uint64_t seedArg(int &argc, char **argv, std::uint64_t fallback);
-
-/**
- * Event-core observability knob shared by every bench: strips
- * "--sim-stats" from argv and enables per-simulation EventQueueStats
- * reporting. The MACROSIM_SIM_STATS environment variable (any
- * non-empty value except "0") enables it too, flag or no flag.
- *
- * @return Whether stats reporting is now enabled.
- */
-bool simStatsArg(int &argc, char **argv);
-
-/** Whether --sim-stats / MACROSIM_SIM_STATS is in effect. */
-bool simStatsEnabled();
 
 /**
  * If simStatsEnabled(), dump @p sim's full telemetry registry

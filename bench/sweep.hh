@@ -1,144 +1,35 @@
 /**
  * @file
- * SweepRunner: the parallel experiment engine behind the figure
- * benches.
+ * Compatibility alias: SweepRunner moved into the simulator library
+ * (sim/sweep.hh, namespace macrosim) so the macrosimd campaign
+ * executor can share the exact engine the figure benches use. The
+ * bench binaries and tests keep including "sweep.hh" and naming
+ * macrosim::bench::SweepRunner; both resolve to the moved types.
  *
- * A sweep is an ordered list of labelled jobs, each a closure that
- * builds and runs one independent Simulator and returns its result.
- * SweepRunner fans the jobs out over a ThreadPool and hands the
- * results back in submission order, so table-printing code is
- * oblivious to the parallelism. Determinism is the caller's half of
- * the contract: derive each job's RNG seed from the job's identity
- * with deriveSeed() (sim/random.hh), never from shared mutable
- * state, and results are bit-identical for any --jobs value.
- *
- * Each job's wall-clock time and the aggregate parallel speedup are
- * reported to stderr, so every bench run doubles as a perf
- * trajectory sample.
+ * stripJobsFlag() lives in flags.hh with the rest of the bench flag
+ * parsing (re-exported through this header for old includes).
  */
 
 #ifndef MACROSIM_BENCH_SWEEP_HH
 #define MACROSIM_BENCH_SWEEP_HH
 
-#include <chrono>
-#include <cstddef>
-#include <functional>
-#include <future>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "sim/thread_pool.hh"
+#include "flags.hh"
+#include "sim/sweep.hh"
 
 namespace macrosim::bench
 {
 
-/** One cell of a sweep: a display label plus the work itself. */
-template <typename Result>
-struct SweepJob
-{
-    std::string label;
-    std::function<Result()> fn;
-};
-
-/**
- * Default worker count: the MACROSIM_JOBS environment variable if
- * set to a positive integer, else hardware_concurrency().
- */
-std::size_t defaultJobs();
-
-/**
- * Remove a leading "--jobs N" (or "--jobs=N") from argv and return
- * N; returns 0 when the flag is absent, leaving the remaining
- * positional arguments (e.g. instructions/core) where the benches
- * already expect them.
- */
-std::size_t stripJobsFlag(int &argc, char **argv);
-
-/** Serialized stderr progress line (threads share the stream). */
-void sweepLog(const std::string &line);
-
-class SweepRunner
-{
-  public:
-    /**
-     * @p jobs worker threads; 0 means defaultJobs(). @p progress
-     * false silences the per-job and aggregate stderr lines (the
-     * test suite runs sweeps quietly).
-     */
-    explicit SweepRunner(std::size_t jobs = 0, bool progress = true);
-
-    std::size_t jobs() const { return jobs_; }
-
-    /**
-     * Run every job and return their results in submission order.
-     * A job's exception is rethrown here, after the pool drains.
-     */
-    template <typename Result>
-    std::vector<Result>
-    run(const std::string &name, std::vector<SweepJob<Result>> sweep)
-    {
-        using Clock = std::chrono::steady_clock;
-        const Clock::time_point start = Clock::now();
-        double busy_ns = 0.0;
-        beginSweep(sweep.size(), start);
-
-        std::vector<std::future<Result>> futures;
-        futures.reserve(sweep.size());
-        {
-            ThreadPool pool(jobs_);
-            for (SweepJob<Result> &job : sweep) {
-                futures.push_back(pool.submit(
-                    [this, job = std::move(job), &busy_ns] {
-                        const Clock::time_point t0 = Clock::now();
-                        Result r = job.fn();
-                        const double ns = std::chrono::duration<
-                            double, std::nano>(Clock::now() - t0)
-                                              .count();
-                        noteJobDone(job.label, ns, &busy_ns);
-                        return r;
-                    }));
-            }
-        } // pool drains here
-
-        std::vector<Result> results;
-        results.reserve(futures.size());
-        for (std::future<Result> &f : futures)
-            results.push_back(f.get());
-
-        const double wall_ns = std::chrono::duration<double, std::nano>(
-                                   Clock::now() - start)
-                                   .count();
-        noteSweepDone(name, results.size(), wall_ns, busy_ns);
-        return results;
-    }
-
-  private:
-    /** Reset the live progress counters for a new sweep (locked). */
-    void beginSweep(std::size_t total,
-                    std::chrono::steady_clock::time_point start);
-
-    /**
-     * Log one finished job and accumulate busy time (locked). The
-     * progress line reports cells done/total plus an ETA projected
-     * from wall-clock elapsed over cells finished — worker-count
-     * agnostic, so it stays honest for any --jobs value.
-     */
-    void noteJobDone(const std::string &label, double ns,
-                     double *busy_ns);
-
-    /** Log the aggregate wall time and parallel speedup. */
-    void noteSweepDone(const std::string &name, std::size_t count,
-                       double wall_ns, double busy_ns);
-
-    std::size_t jobs_;
-    bool progress_;
-
-    /** Live progress state of the sweep currently in run(). */
-    std::size_t total_ = 0;
-    std::size_t done_ = 0;
-    std::chrono::steady_clock::time_point sweepStart_;
-};
+using macrosim::SweepJob;
+using macrosim::SweepOutcome;
+using macrosim::SweepRunner;
+using macrosim::SweepJobDone;
+using macrosim::defaultJobs;
+using macrosim::sweepLog;
+using macrosim::installSweepSignalHandlers;
+using macrosim::sweepInterrupted;
+using macrosim::requestSweepInterrupt;
+using macrosim::clearSweepInterrupt;
+using macrosim::sweepExitStatus;
 
 } // namespace macrosim::bench
 

@@ -1,0 +1,633 @@
+#include "service/campaign.hh"
+
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+#include "net/circuit_switched.hh"
+#include "net/hermes.hh"
+#include "net/limited_pt2pt.hh"
+#include "net/pt2pt.hh"
+#include "net/token_ring.hh"
+#include "net/two_phase.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/sweep.hh"
+
+namespace macrosim::service
+{
+
+namespace
+{
+
+constexpr std::array<NetSel, 7> allNetSels = {
+    NetSel::TokenRing,    NetSel::CircuitSwitched,
+    NetSel::PointToPoint, NetSel::LimitedPtToPt,
+    NetSel::TwoPhase,     NetSel::TwoPhaseAlt,
+    NetSel::Hermes,
+};
+
+/** %.17g: enough digits that distinct doubles print distinctly. */
+std::string
+fmtDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+netDisplayName(NetSel id)
+{
+    switch (id) {
+      case NetSel::TokenRing: return "Token Ring";
+      case NetSel::CircuitSwitched: return "Circuit-Switched";
+      case NetSel::PointToPoint: return "Point-to-Point";
+      case NetSel::LimitedPtToPt: return "Limited Point-to-Point";
+      case NetSel::TwoPhase: return "2-Phase Arb.";
+      case NetSel::TwoPhaseAlt: return "2-Phase Arb. ALT";
+      case NetSel::Hermes: return "Hermes";
+    }
+    return "?";
+}
+
+std::string
+netShortName(NetSel id)
+{
+    switch (id) {
+      case NetSel::TokenRing: return "tring";
+      case NetSel::CircuitSwitched: return "cswitch";
+      case NetSel::PointToPoint: return "pt2pt";
+      case NetSel::LimitedPtToPt: return "lpt2pt";
+      case NetSel::TwoPhase: return "2phase";
+      case NetSel::TwoPhaseAlt: return "2phase-alt";
+      case NetSel::Hermes: return "hermes";
+    }
+    return "?";
+}
+
+bool
+netFromString(std::string_view name, NetSel *out)
+{
+    for (const NetSel id : allNetSels) {
+        if (name == netShortName(id) || name == netDisplayName(id)) {
+            *out = id;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::unique_ptr<Network>
+makeNetworkFor(NetSel id, Simulator &sim, const MacrochipConfig &cfg)
+{
+    switch (id) {
+      case NetSel::TokenRing:
+        return std::make_unique<TokenRingCrossbar>(sim, cfg);
+      case NetSel::CircuitSwitched:
+        return std::make_unique<CircuitSwitchedTorus>(sim, cfg);
+      case NetSel::PointToPoint:
+        return std::make_unique<PointToPointNetwork>(sim, cfg);
+      case NetSel::LimitedPtToPt:
+        return std::make_unique<LimitedPointToPointNetwork>(sim, cfg);
+      case NetSel::TwoPhase:
+        return std::make_unique<TwoPhaseArbitratedNetwork>(sim, cfg);
+      case NetSel::TwoPhaseAlt:
+        return std::make_unique<TwoPhaseArbitratedNetwork>(sim, cfg,
+                                                          true);
+      case NetSel::Hermes:
+        return std::make_unique<HermesNetwork>(sim, cfg);
+    }
+    panic("makeNetworkFor: bad id");
+}
+
+std::size_t
+CampaignSpec::cellCount() const
+{
+    if (kind == CampaignKind::InjectorSweep)
+        return patterns.size() * networks.size() * loads.size();
+    return workloads.size() * networks.size();
+}
+
+std::uint64_t
+CampaignSpec::fingerprint() const
+{
+    std::uint64_t h = 0x6d616372736d6331ULL; // "macrsmc1"
+    h = hashCombine(h, static_cast<std::uint64_t>(kind));
+    h = hashCombine(h, seed);
+    h = hashCombine(h, static_cast<std::uint64_t>(emitCellStats));
+    h = hashCombine(h, patterns.size());
+    for (const std::string &p : patterns)
+        h = hashCombine(h, p);
+    h = hashCombine(h, networks.size());
+    for (const NetSel n : networks)
+        h = hashCombine(h, static_cast<std::uint64_t>(n));
+    h = hashCombine(h, loads.size());
+    for (const double l : loads)
+        h = hashCombine(h, std::bit_cast<std::uint64_t>(l));
+    h = hashCombine(h, warmupNs);
+    h = hashCombine(h, windowNs);
+    h = hashCombine(h, instructionsPerCore);
+    h = hashCombine(h, workloads.size());
+    for (const std::string &w : workloads)
+        h = hashCombine(h, w);
+    return h;
+}
+
+void
+CampaignSpec::encode(BinSerializer &s) const
+{
+    s.u8(static_cast<std::uint8_t>(kind));
+    s.u64(seed);
+    s.boolean(emitCellStats);
+    s.varint(patterns.size());
+    for (const std::string &p : patterns)
+        s.str(p);
+    s.varint(networks.size());
+    for (const NetSel n : networks)
+        s.u8(static_cast<std::uint8_t>(n));
+    s.varint(loads.size());
+    for (const double l : loads)
+        s.f64(l);
+    s.u64(warmupNs);
+    s.u64(windowNs);
+    s.u64(instructionsPerCore);
+    s.varint(workloads.size());
+    for (const std::string &w : workloads)
+        s.str(w);
+}
+
+bool
+CampaignSpec::decode(BinDeserializer &d)
+{
+    kind = static_cast<CampaignKind>(d.u8());
+    seed = d.u64();
+    emitCellStats = d.boolean();
+    std::uint64_t n = d.varint();
+    if (!d.ok() || n > d.remaining())
+        return false;
+    patterns.clear();
+    for (std::uint64_t i = 0; i < n && d.ok(); ++i)
+        patterns.push_back(d.str());
+    n = d.varint();
+    if (!d.ok() || n > d.remaining())
+        return false;
+    networks.clear();
+    for (std::uint64_t i = 0; i < n && d.ok(); ++i)
+        networks.push_back(static_cast<NetSel>(d.u8()));
+    n = d.varint();
+    if (!d.ok() || n * 8 > d.remaining())
+        return false;
+    loads.clear();
+    for (std::uint64_t i = 0; i < n && d.ok(); ++i)
+        loads.push_back(d.f64());
+    warmupNs = d.u64();
+    windowNs = d.u64();
+    instructionsPerCore = d.u64();
+    n = d.varint();
+    if (!d.ok() || n > d.remaining())
+        return false;
+    workloads.clear();
+    for (std::uint64_t i = 0; i < n && d.ok(); ++i)
+        workloads.push_back(d.str());
+    return d.ok();
+}
+
+std::string
+CampaignSpec::validate() const
+{
+    if (kind != CampaignKind::InjectorSweep
+        && kind != CampaignKind::WorkloadMatrix) {
+        return "unknown campaign kind "
+               + std::to_string(static_cast<int>(kind));
+    }
+    if (networks.empty())
+        return "no networks selected";
+    for (const NetSel n : networks) {
+        if (netDisplayName(n) == "?") {
+            return "unknown network id "
+                   + std::to_string(static_cast<int>(n));
+        }
+    }
+    if (kind == CampaignKind::InjectorSweep) {
+        if (patterns.empty())
+            return "injector campaign has no patterns";
+        if (loads.empty())
+            return "injector campaign has no load points";
+        for (const std::string &p : patterns) {
+            TrafficPattern parsed;
+            if (!patternFromString(p, &parsed))
+                return "unknown traffic pattern '" + p + "'";
+        }
+        for (const double l : loads) {
+            if (!(l > 0.0) || l > 1.0) {
+                return "load " + fmtDouble(l)
+                       + " outside (0, 1]";
+            }
+        }
+        if (windowNs == 0)
+            return "measurement window is zero";
+    } else {
+        if (workloads.empty())
+            return "matrix campaign has no workloads";
+        for (const std::string &w : workloads) {
+            try {
+                (void)workloadByName(w);
+            } catch (const FatalError &) {
+                return "unknown workload '" + w + "'";
+            }
+        }
+        if (instructionsPerCore == 0)
+            return "instructionsPerCore is zero";
+    }
+    if (cellCount() == 0)
+        return "campaign decomposes into zero cells";
+    return {};
+}
+
+CampaignSpec
+CampaignSpec::smokeInjector()
+{
+    CampaignSpec spec;
+    spec.kind = CampaignKind::InjectorSweep;
+    spec.seed = 17;
+    spec.patterns = {"uniform"};
+    spec.networks = {NetSel::TokenRing, NetSel::PointToPoint,
+                     NetSel::TwoPhase};
+    spec.loads = {0.01, 0.02};
+    spec.warmupNs = 200;
+    spec.windowNs = 600;
+    return spec;
+}
+
+std::vector<CampaignCell>
+enumerateCells(const CampaignSpec &spec)
+{
+    std::vector<CampaignCell> cells;
+    cells.reserve(spec.cellCount());
+    std::uint32_t index = 0;
+    if (spec.kind == CampaignKind::InjectorSweep) {
+        for (const std::string &p : spec.patterns) {
+            TrafficPattern pattern = TrafficPattern::Uniform;
+            if (!patternFromString(p, &pattern))
+                fatal("enumerateCells: unknown pattern '", p, "'");
+            for (const NetSel net : spec.networks) {
+                for (const double load : spec.loads) {
+                    CampaignCell cell;
+                    cell.index = index++;
+                    cell.net = net;
+                    cell.pattern = pattern;
+                    cell.load = load;
+                    std::ostringstream label;
+                    label << p << " @ " << load * 100.0 << "% on "
+                          << netDisplayName(net);
+                    cell.label = label.str();
+                    cells.push_back(std::move(cell));
+                }
+            }
+        }
+    } else {
+        for (const std::string &w : spec.workloads) {
+            for (const NetSel net : spec.networks) {
+                CampaignCell cell;
+                cell.index = index++;
+                cell.net = net;
+                cell.workload = w;
+                cell.label = w + " on " + netDisplayName(net);
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+    return cells;
+}
+
+namespace
+{
+
+void
+encodeInjector(BinSerializer &s, const InjectorResult &r)
+{
+    s.f64(r.offeredLoadPct);
+    s.f64(r.meanLatencyNs);
+    s.f64(r.maxLatencyNs);
+    s.f64(r.p50LatencyNs);
+    s.f64(r.p99LatencyNs);
+    s.f64(r.deliveredBytesPerNsPerSite);
+    s.f64(r.deliveredPct);
+    s.u64(r.measuredPackets);
+    s.u64(r.overflowPackets);
+    s.f64(r.offeredMeasuredPct);
+}
+
+void
+decodeInjector(BinDeserializer &d, InjectorResult &r)
+{
+    r.offeredLoadPct = d.f64();
+    r.meanLatencyNs = d.f64();
+    r.maxLatencyNs = d.f64();
+    r.p50LatencyNs = d.f64();
+    r.p99LatencyNs = d.f64();
+    r.deliveredBytesPerNsPerSite = d.f64();
+    r.deliveredPct = d.f64();
+    r.measuredPackets = d.u64();
+    r.overflowPackets = d.u64();
+    r.offeredMeasuredPct = d.f64();
+}
+
+void
+encodeTrace(BinSerializer &s, const TraceCpuResult &r)
+{
+    s.str(r.workload);
+    s.str(r.network);
+    s.u64(r.runtime);
+    s.u64(r.instructions);
+    s.u64(r.coherenceOps);
+    s.f64(r.opLatencyNs);
+    s.f64(r.totalJoules);
+    s.f64(r.routerJoules);
+    s.f64(r.cpuJoules);
+    s.f64(r.edp);
+}
+
+void
+decodeTrace(BinDeserializer &d, TraceCpuResult &r)
+{
+    r.workload = d.str();
+    r.network = d.str();
+    r.runtime = d.u64();
+    r.instructions = d.u64();
+    r.coherenceOps = d.u64();
+    r.opLatencyNs = d.f64();
+    r.totalJoules = d.f64();
+    r.routerJoules = d.f64();
+    r.cpuJoules = d.f64();
+    r.edp = d.f64();
+}
+
+} // namespace
+
+void
+CellOutcome::encode(BinSerializer &s) const
+{
+    s.u32(index);
+    s.str(label);
+    s.u8(kind);
+    s.boolean(skipped);
+    if (kind == static_cast<std::uint8_t>(
+            CampaignKind::InjectorSweep)) {
+        encodeInjector(s, injector);
+    } else {
+        encodeTrace(s, trace);
+    }
+    s.varint(stats.size());
+    for (const auto &[name, value] : stats) {
+        s.str(name);
+        s.f64(value);
+    }
+}
+
+bool
+CellOutcome::decode(BinDeserializer &d)
+{
+    index = d.u32();
+    label = d.str();
+    kind = d.u8();
+    skipped = d.boolean();
+    if (kind == static_cast<std::uint8_t>(
+            CampaignKind::InjectorSweep)) {
+        decodeInjector(d, injector);
+    } else if (kind == static_cast<std::uint8_t>(
+                   CampaignKind::WorkloadMatrix)) {
+        decodeTrace(d, trace);
+    } else {
+        return false;
+    }
+    const std::uint64_t n = d.varint();
+    if (!d.ok() || n > d.remaining())
+        return false;
+    stats.clear();
+    for (std::uint64_t i = 0; i < n && d.ok(); ++i) {
+        std::string name = d.str();
+        const double value = d.f64();
+        stats.emplace_back(std::move(name), value);
+    }
+    return d.ok();
+}
+
+std::string
+CampaignResult::table() const
+{
+    std::ostringstream os;
+    const bool injector =
+        spec.kind == CampaignKind::InjectorSweep;
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "# macrosim campaign kind=%s seed=%llu cells=%zu "
+                  "fingerprint=%016llx\n",
+                  injector ? "injector" : "matrix",
+                  static_cast<unsigned long long>(spec.seed),
+                  cells.size(),
+                  static_cast<unsigned long long>(
+                      spec.fingerprint()));
+    os << head;
+    if (injector) {
+        os << "index,pattern,network,load_frac,offered_pct,mean_ns,"
+              "p50_ns,p99_ns,max_ns,delivered_bpns,delivered_pct,"
+              "measured,overflow,offered_measured_pct\n";
+    } else {
+        os << "index,workload,network,runtime_ticks,instructions,"
+              "coherence_ops,op_latency_ns,total_j,router_j,cpu_j,"
+              "edp\n";
+    }
+    for (const CellOutcome &cell : cells) {
+        if (cell.skipped) {
+            os << cell.index << "," << cell.label << ",SKIPPED\n";
+            continue;
+        }
+        if (injector) {
+            // The label is "<pattern> @ <load>% on <net>"; recover
+            // the parts from the cell payload instead of parsing.
+            const InjectorResult &r = cell.injector;
+            const std::size_t at = cell.label.find(" @ ");
+            const std::size_t on = cell.label.find(" on ");
+            const std::string pattern = cell.label.substr(0, at);
+            const std::string net =
+                on == std::string::npos ? "?"
+                                        : cell.label.substr(on + 4);
+            os << cell.index << "," << pattern << "," << net << ","
+               << fmtDouble(r.offeredLoadPct / 100.0) << ","
+               << fmtDouble(r.offeredLoadPct) << ","
+               << fmtDouble(r.meanLatencyNs) << ","
+               << fmtDouble(r.p50LatencyNs) << ","
+               << fmtDouble(r.p99LatencyNs) << ","
+               << fmtDouble(r.maxLatencyNs) << ","
+               << fmtDouble(r.deliveredBytesPerNsPerSite) << ","
+               << fmtDouble(r.deliveredPct) << ","
+               << r.measuredPackets << "," << r.overflowPackets
+               << "," << fmtDouble(r.offeredMeasuredPct) << "\n";
+        } else {
+            const TraceCpuResult &r = cell.trace;
+            os << cell.index << "," << r.workload << ","
+               << r.network << "," << r.runtime << ","
+               << r.instructions << "," << r.coherenceOps << ","
+               << fmtDouble(r.opLatencyNs) << ","
+               << fmtDouble(r.totalJoules) << ","
+               << fmtDouble(r.routerJoules) << ","
+               << fmtDouble(r.cpuJoules) << "," << fmtDouble(r.edp)
+               << "\n";
+        }
+    }
+    if (interrupted)
+        os << "# INTERRUPTED: table is partial\n";
+    return os.str();
+}
+
+CellOutcome
+runCampaignCell(const CampaignSpec &spec, const CampaignCell &cell)
+{
+    CellOutcome out;
+    out.index = cell.index;
+    out.label = cell.label;
+    out.kind = static_cast<std::uint8_t>(spec.kind);
+
+    if (spec.kind == CampaignKind::InjectorSweep) {
+        // The seed label uses the full-precision load so two nearby
+        // load points can never share a random stream.
+        const std::string seed_label =
+            std::string(to_string(cell.pattern)) + "@"
+            + fmtDouble(cell.load);
+        const std::uint64_t cell_seed = deriveSeed(
+            spec.seed, seed_label, netDisplayName(cell.net));
+        Simulator sim(cell_seed);
+        auto net = makeNetworkFor(cell.net, sim, simulatedConfig());
+        InjectorConfig cfg;
+        cfg.pattern = cell.pattern;
+        cfg.load = cell.load;
+        cfg.warmup = spec.warmupNs * tickNs;
+        cfg.window = spec.windowNs * tickNs;
+        cfg.seed = cell_seed;
+        out.injector = runOpenLoop(sim, *net, cfg);
+        if (spec.emitCellStats)
+            out.stats = sim.telemetry().snapshot();
+    } else {
+        WorkloadSpec w = workloadByName(cell.workload);
+        w.instructionsPerCore = spec.instructionsPerCore;
+        // Identical derivation to bench::runWorkloadMatrix, so a
+        // daemon matrix campaign reproduces the figure benches'
+        // per-cell streams bit for bit.
+        const std::uint64_t cell_seed = deriveSeed(
+            spec.seed, w.name, netDisplayName(cell.net));
+        Simulator sim(cell_seed);
+        auto net = makeNetworkFor(cell.net, sim, simulatedConfig());
+        TraceCpuSystem cpu(sim, *net, w, mix64(cell_seed));
+        out.trace = cpu.run();
+        if (spec.emitCellStats)
+            out.stats = sim.telemetry().snapshot();
+    }
+    return out;
+}
+
+CampaignResult
+runCampaignOffline(const CampaignSpec &spec, std::size_t jobs,
+                   const CampaignHooks &hooks,
+                   const std::map<std::uint32_t, CellOutcome> *prior,
+                   bool progressLog)
+{
+    const std::string problem = spec.validate();
+    if (!problem.empty())
+        fatal("runCampaignOffline: invalid campaign: ", problem);
+
+    const std::vector<CampaignCell> cells = enumerateCells(spec);
+    const std::size_t total = cells.size();
+
+    CampaignResult result;
+    result.spec = spec;
+    result.cells.resize(total);
+
+    // Splice prior (journaled) outcomes in and collect the cells
+    // that still need to run.
+    std::vector<const CampaignCell *> pending;
+    std::size_t priorDone = 0;
+    for (const CampaignCell &cell : cells) {
+        bool replayed = false;
+        if (prior != nullptr) {
+            const auto it = prior->find(cell.index);
+            if (it != prior->end() && !it->second.skipped) {
+                result.cells[cell.index] = it->second;
+                ++priorDone;
+                replayed = true;
+            }
+        }
+        if (!replayed)
+            pending.push_back(&cell);
+    }
+
+    // Completion-side bookkeeping, serialized under one mutex: the
+    // journal append (hooks.cellDone) and the progress event
+    // (hooks.progress) see cells in completion order.
+    std::mutex doneMutex;
+    std::size_t doneCells = priorDone;
+    std::size_t ranCells = 0;
+    const auto runStart = std::chrono::steady_clock::now();
+
+    std::vector<SweepJob<CellOutcome>> sweep;
+    sweep.reserve(pending.size());
+    for (const CampaignCell *cell : pending) {
+        sweep.push_back(SweepJob<CellOutcome>{
+            cell->label, [&spec, cell, &hooks, &doneMutex,
+                          &doneCells, &ranCells, runStart, total] {
+                CellOutcome out = runCampaignCell(spec, *cell);
+                std::lock_guard<std::mutex> lock(doneMutex);
+                if (hooks.cellDone)
+                    hooks.cellDone(out);
+                ++doneCells;
+                ++ranCells;
+                if (hooks.progress) {
+                    const double elapsed_s =
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now()
+                            - runStart)
+                            .count();
+                    CampaignProgress p;
+                    p.cellIndex = out.index;
+                    p.label = out.label;
+                    p.done = doneCells;
+                    p.total = total;
+                    p.cellWallNs = 0.0; // filled by observer users
+                    p.etaSec = doneCells < total && ranCells > 0
+                        ? elapsed_s / static_cast<double>(ranCells)
+                            * static_cast<double>(total - doneCells)
+                        : 0.0;
+                    hooks.progress(p);
+                }
+                return out;
+            }});
+    }
+
+    SweepRunner runner(jobs, progressLog);
+    SweepOutcome<CellOutcome> outcome = runner.runCancellable(
+        "campaign", std::move(sweep), hooks.cancel);
+
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        const CampaignCell &cell = *pending[i];
+        if (outcome.ran[i]) {
+            result.cells[cell.index] =
+                std::move(outcome.results[i]);
+        } else {
+            CellOutcome &skip = result.cells[cell.index];
+            skip.index = cell.index;
+            skip.label = cell.label;
+            skip.kind = static_cast<std::uint8_t>(spec.kind);
+            skip.skipped = true;
+        }
+    }
+    result.interrupted = outcome.interrupted;
+    return result;
+}
+
+} // namespace macrosim::service

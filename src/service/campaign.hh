@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Campaign spec/result types shared by the bench binaries and the
+ * macrosimd daemon (DESIGN.md §13).
+ *
+ * A *campaign* is a declarative description of a sweep: which cells
+ * to run (pattern × network × load for the injector kind, workload ×
+ * network for the trace-CPU matrix kind), under which root seed.
+ * enumerateCells() decomposes a spec into an ordered cell list, and
+ * runCampaignCell() runs one cell in its own Simulator with a seed
+ * derived purely from (root seed, cell identity) via deriveSeed() —
+ * the same splitmix64 derivation the figure benches use. Because
+ * every cell is a pure function of the spec, a campaign's result
+ * table is bit-identical whether the cells ran offline through
+ * SweepRunner, through the daemon's job queue, across any --jobs
+ * count, or split across a kill/--resume cycle (the journal stores
+ * each double's exact bit pattern).
+ *
+ * The bench harness shares the network factory below (NetSel is
+ * bench::NetId), so "Token Ring" means the same constructor here,
+ * in fig6, and in a daemon campaign.
+ */
+
+#ifndef MACROSIM_SERVICE_CAMPAIGN_HH
+#define MACROSIM_SERVICE_CAMPAIGN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/config.hh"
+#include "service/wire.hh"
+#include "sim/simulator.hh"
+#include "workloads/packet_injector.hh"
+#include "workloads/trace_cpu.hh"
+
+namespace macrosim
+{
+class Network;
+}
+
+namespace macrosim::service
+{
+
+/**
+ * The canonical network selector: the paper's five architectures,
+ * the ALT arbitration variant, and the hermes extension. The bench
+ * harness aliases this as NetId, so enumerator names follow the
+ * original bench enum.
+ */
+enum class NetSel : std::uint8_t
+{
+    TokenRing = 0,
+    CircuitSwitched = 1,
+    PointToPoint = 2,
+    LimitedPtToPt = 3,
+    TwoPhase = 4,
+    TwoPhaseAlt = 5,
+    Hermes = 6,
+};
+
+/** Display name, as printed in every figure/table ("Token Ring"). */
+std::string netDisplayName(NetSel id);
+
+/** Short flag-friendly name ("tring", "pt2pt", "2phase-alt"…). */
+std::string netShortName(NetSel id);
+
+/** Parse either the short or the display name. */
+bool netFromString(std::string_view name, NetSel *out);
+
+/** Construct the selected topology (the shared factory). */
+std::unique_ptr<Network> makeNetworkFor(NetSel id, Simulator &sim,
+                                        const MacrochipConfig &cfg);
+
+enum class CampaignKind : std::uint8_t
+{
+    InjectorSweep = 0,  ///< open-loop packet injector load points
+    WorkloadMatrix = 1, ///< closed-loop trace-CPU workload × network
+};
+
+/**
+ * A submittable sweep description. Everything that influences a
+ * cell's result lives here, so fingerprint() identifies a campaign
+ * for journal-resume compatibility checks.
+ */
+struct CampaignSpec
+{
+    CampaignKind kind = CampaignKind::InjectorSweep;
+    std::uint64_t seed = 17;
+    /** Snapshot each cell's StatRegistry into its outcome/event. */
+    bool emitCellStats = false;
+
+    /* InjectorSweep */
+    std::vector<std::string> patterns; ///< to_string(TrafficPattern)
+    std::vector<NetSel> networks;
+    std::vector<double> loads; ///< fraction of per-site peak (0, 1]
+    std::uint64_t warmupNs = 500;
+    std::uint64_t windowNs = 2500;
+
+    /* WorkloadMatrix */
+    std::uint64_t instructionsPerCore = 2000;
+    std::vector<std::string> workloads; ///< workloadByName() names
+
+    std::size_t cellCount() const;
+
+    /** Order-sensitive content hash (journal spec check). */
+    std::uint64_t fingerprint() const;
+
+    void encode(BinSerializer &s) const;
+    bool decode(BinDeserializer &d);
+
+    /**
+     * Check the spec is runnable (known patterns/workloads/networks,
+     * at least one cell, sane loads). @return Empty string if valid,
+     * else a description of the first problem.
+     */
+    std::string validate() const;
+
+    /** The small deterministic campaign behind --smoke and the
+     *  service e2e test: uniform × {tring, pt2pt, 2phase} ×
+     *  {1%, 2%} with a short measurement window. */
+    static CampaignSpec smokeInjector();
+};
+
+/** One decomposed unit of work, in deterministic enumeration order. */
+struct CampaignCell
+{
+    std::uint32_t index = 0;
+    std::string label;
+    NetSel net = NetSel::TokenRing;
+    /* InjectorSweep */
+    TrafficPattern pattern = TrafficPattern::Uniform;
+    double load = 0.0;
+    /* WorkloadMatrix */
+    std::string workload;
+};
+
+/** Decompose @p spec into its ordered cell list. */
+std::vector<CampaignCell> enumerateCells(const CampaignSpec &spec);
+
+/**
+ * The result of one cell. kind mirrors the spec's; exactly one of
+ * the payloads is meaningful. skipped marks a cell a cancelled run
+ * never executed.
+ */
+struct CellOutcome
+{
+    std::uint32_t index = 0;
+    std::string label;
+    std::uint8_t kind = 0;
+    bool skipped = false;
+    InjectorResult injector;
+    TraceCpuResult trace;
+    /** StatRegistry snapshot (when the spec asked for it). */
+    std::vector<std::pair<std::string, double>> stats;
+
+    void encode(BinSerializer &s) const;
+    bool decode(BinDeserializer &d);
+};
+
+/** A completed (or partially completed) campaign. */
+struct CampaignResult
+{
+    CampaignSpec spec;
+    std::vector<CellOutcome> cells; ///< in cell-index order
+    bool interrupted = false;
+
+    /**
+     * Render the canonical CSV result table. Doubles print as
+     * %.17g, so two tables are byte-identical iff the results are
+     * bit-identical — the acceptance check for daemon-vs-offline
+     * and kill/resume runs.
+     */
+    std::string table() const;
+};
+
+/** Run one cell to completion (a pure function of spec + cell). */
+CellOutcome runCampaignCell(const CampaignSpec &spec,
+                            const CampaignCell &cell);
+
+/** Per-cell completion report, forwarded to progress subscribers. */
+struct CampaignProgress
+{
+    std::uint32_t cellIndex = 0;
+    std::string label;
+    std::size_t done = 0;  ///< cells finished so far (incl. prior)
+    std::size_t total = 0; ///< cells in the campaign
+    double cellWallNs = 0.0;
+    double etaSec = 0.0;
+};
+
+/**
+ * Observation and control hooks for a campaign run. cellDone and
+ * progress are invoked from sweep worker threads but serialized
+ * under one internal mutex, in cell *completion* order — the
+ * journal append path hangs off cellDone. cancel, when set and
+ * flipped true, cooperatively skips cells that have not started;
+ * running cells drain normally (their results are still journaled).
+ */
+struct CampaignHooks
+{
+    std::function<void(const CellOutcome &)> cellDone;
+    std::function<void(const CampaignProgress &)> progress;
+    const std::atomic<bool> *cancel = nullptr;
+};
+
+/**
+ * Run a campaign through the SweepRunner thread pool and return the
+ * assembled result (cells in index order).
+ *
+ * @p jobs is the worker count (0 = MACROSIM_JOBS / hardware).
+ * @p prior maps cell index → outcome for cells already completed
+ * (journal replay on --resume); those cells are not re-run, their
+ * outcomes are spliced into the result, and they count as done in
+ * progress reports. The returned table is bit-identical for any
+ * (jobs, prior) split of the same spec.
+ */
+CampaignResult runCampaignOffline(
+    const CampaignSpec &spec, std::size_t jobs,
+    const CampaignHooks &hooks = {},
+    const std::map<std::uint32_t, CellOutcome> *prior = nullptr,
+    bool progressLog = false);
+
+} // namespace macrosim::service
+
+#endif // MACROSIM_SERVICE_CAMPAIGN_HH

@@ -1,0 +1,230 @@
+#include "service/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace macrosim::service
+{
+
+namespace
+{
+
+bool
+isEventId(std::uint16_t id)
+{
+    return id >= 128 && id < 192;
+}
+
+} // namespace
+
+bool
+ServiceClient::connectUnix(const std::string &path, std::string *error)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "bad socket path '" + path + "'";
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    // Retry briefly on a socket that is missing or not yet accepting:
+    // a daemon that just started (or just replaced a stale socket
+    // file left behind by a killed predecessor) wins the race within
+    // a few tries.
+    for (int attempt = 0;; ++attempt) {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd_ < 0) {
+            if (error)
+                *error =
+                    std::string("socket(): ") + std::strerror(errno);
+            return false;
+        }
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return true;
+        const int err = errno;
+        close();
+        if ((err != ECONNREFUSED && err != ENOENT) || attempt >= 50) {
+            if (error)
+                *error = "connect('" + path
+                         + "'): " + std::strerror(err);
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    reader_ = FrameReader();
+}
+
+bool
+ServiceClient::sendFrame(const std::vector<std::uint8_t> &frame)
+{
+    std::size_t off = 0;
+    while (off < frame.size()) {
+        const ssize_t n = ::send(fd_, frame.data() + off,
+                                 frame.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        error_ = std::string("send(): ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+ServiceClient::recvFrame(Frame *out)
+{
+    for (;;) {
+        std::string err;
+        const FrameReader::Status st = reader_.next(out, &err);
+        if (st == FrameReader::Status::Ready)
+            return true;
+        if (st == FrameReader::Status::Bad) {
+            error_ = "corrupt stream: " + err;
+            return false;
+        }
+        char buf[65536];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            reader_.feed(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            error_ = "connection closed by daemon";
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        error_ = std::string("recv(): ") + std::strerror(errno);
+        return false;
+    }
+}
+
+bool
+ServiceClient::recvReply(Frame *out)
+{
+    for (;;) {
+        if (!recvFrame(out))
+            return false;
+        if (!isEventId(out->id))
+            return true;
+        if (onEvent_)
+            onEvent_(*out);
+    }
+}
+
+template <typename Req, typename Reply>
+bool
+ServiceClient::roundTrip(const Req &req, Reply *out)
+{
+    if (!send(req))
+        return false;
+    Frame frame;
+    if (!recvReply(&frame))
+        return false;
+    if (frame.id == static_cast<std::uint16_t>(MsgId::ErrorReply)) {
+        ErrorReplyMsg err;
+        if (decodeMessage(frame, &err))
+            error_ = "daemon error " + std::to_string(err.code)
+                     + ": " + err.text;
+        else
+            error_ = "undecodable ErrorReply";
+        return false;
+    }
+    if (!decodeMessage(frame, out)) {
+        error_ = "unexpected reply id " + std::to_string(frame.id);
+        return false;
+    }
+    return true;
+}
+
+bool
+ServiceClient::submit(const CampaignSpec &spec, SubmitReplyMsg *out)
+{
+    SubmitCampaignMsg req;
+    req.spec = spec;
+    return roundTrip(req, out);
+}
+
+bool
+ServiceClient::queryStatus(std::uint64_t jobId, StatusReplyMsg *out)
+{
+    QueryStatusMsg req;
+    req.jobId = jobId;
+    return roundTrip(req, out);
+}
+
+bool
+ServiceClient::cancel(std::uint64_t jobId, CancelReplyMsg *out)
+{
+    CancelJobMsg req;
+    req.jobId = jobId;
+    return roundTrip(req, out);
+}
+
+bool
+ServiceClient::subscribe(std::uint64_t jobId, SubscribeReplyMsg *out)
+{
+    SubscribeProgressMsg req;
+    req.jobId = jobId;
+    return roundTrip(req, out);
+}
+
+bool
+ServiceClient::fetchResults(std::uint64_t jobId, ResultsReplyMsg *out)
+{
+    FetchResultsMsg req;
+    req.jobId = jobId;
+    return roundTrip(req, out);
+}
+
+bool
+ServiceClient::shutdownDaemon()
+{
+    ShutdownReplyMsg reply;
+    return roundTrip(ShutdownMsg{}, &reply);
+}
+
+bool
+ServiceClient::waitForDone(std::uint64_t jobId, JobState *finalState)
+{
+    for (;;) {
+        Frame frame;
+        if (!recvFrame(&frame))
+            return false;
+        if (isEventId(frame.id) && onEvent_)
+            onEvent_(frame);
+        if (frame.id
+            == static_cast<std::uint16_t>(MsgId::CampaignDoneEvent)) {
+            CampaignDoneEventMsg done;
+            if (decodeMessage(frame, &done) && done.jobId == jobId) {
+                if (finalState)
+                    *finalState = done.state;
+                return true;
+            }
+        }
+    }
+}
+
+} // namespace macrosim::service

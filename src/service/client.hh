@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Blocking client for the macrosimd protocol — the guts of
+ * macrosimctl, kept in the library so tests can drive a daemon
+ * in-process.
+ *
+ * The transport is deliberately simple: a blocking Unix-domain
+ * socket, sendFrame()/recvFrame() with an incremental FrameReader,
+ * and typed request helpers that send one request and demultiplex
+ * replies, surfacing any interleaved events through a callback
+ * (subscription events can arrive between a request and its reply).
+ */
+
+#ifndef MACROSIM_SERVICE_CLIENT_HH
+#define MACROSIM_SERVICE_CLIENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hh"
+#include "service/wire.hh"
+
+namespace macrosim::service
+{
+
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+    ~ServiceClient() { close(); }
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** Connect to a daemon's Unix socket. */
+    bool connectUnix(const std::string &path, std::string *error);
+
+    void close();
+    bool isOpen() const { return fd_ >= 0; }
+
+    /** The last transport/protocol error. */
+    const std::string &lastError() const { return error_; }
+
+    bool sendFrame(const std::vector<std::uint8_t> &frame);
+
+    /** Block until one complete frame arrives. */
+    bool recvFrame(Frame *out);
+
+    template <typename Msg>
+    bool
+    send(const Msg &msg)
+    {
+        return sendFrame(encodeMessage(msg));
+    }
+
+    /**
+     * Called for each event frame (ProgressEvent/CellDoneEvent/
+     * CampaignDoneEvent) received while waiting for a reply.
+     */
+    using EventFn = std::function<void(const Frame &)>;
+    void setEventHandler(EventFn fn) { onEvent_ = std::move(fn); }
+
+    /**
+     * Receive frames until a non-event arrives, dispatching events
+     * to the handler along the way.
+     */
+    bool recvReply(Frame *out);
+
+    /*
+     * Typed round-trips. Each returns false on transport failure,
+     * protocol mismatch, or an ErrorReply (lastError() explains).
+     */
+    bool submit(const CampaignSpec &spec, SubmitReplyMsg *out);
+    bool queryStatus(std::uint64_t jobId, StatusReplyMsg *out);
+    bool cancel(std::uint64_t jobId, CancelReplyMsg *out);
+    bool subscribe(std::uint64_t jobId, SubscribeReplyMsg *out);
+    bool fetchResults(std::uint64_t jobId, ResultsReplyMsg *out);
+    bool shutdownDaemon();
+
+    /**
+     * Block until the subscribed job's CampaignDoneEvent arrives
+     * (subscribe first!). @return false on transport failure.
+     */
+    bool waitForDone(std::uint64_t jobId, JobState *finalState);
+
+  private:
+    template <typename Req, typename Reply>
+    bool roundTrip(const Req &req, Reply *out);
+
+    int fd_ = -1;
+    FrameReader reader_;
+    EventFn onEvent_;
+    std::string error_;
+};
+
+} // namespace macrosim::service
+
+#endif // MACROSIM_SERVICE_CLIENT_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Campaign checkpoint journal (DESIGN.md §13).
+ *
+ * One journal file per job, reusing the wire frame format on disk:
+ *
+ *   [JournalHeader frame: magic, job id, spec fingerprint, spec]
+ *   [JournalCell frame: CellOutcome]*
+ *
+ * The writer appends one JournalCell frame per completed cell, in
+ * completion order, and fflush()es after every append — a killed
+ * daemon therefore loses at most the record that was mid-write, and
+ * the reader tolerates exactly that: a truncated trailing frame
+ * ends replay cleanly (everything before it is recovered).
+ *
+ * Doubles are stored as IEEE-754 bit patterns, so a resumed
+ * campaign's result table is byte-identical to an uninterrupted
+ * run's — the subsystem's acceptance criterion.
+ */
+
+#ifndef MACROSIM_SERVICE_JOURNAL_HH
+#define MACROSIM_SERVICE_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "service/campaign.hh"
+
+namespace macrosim::service
+{
+
+/** First field of the header frame; rejects non-journals early. */
+constexpr std::uint32_t journalMagic = 0x4D4A524Eu; // 'MJRN'
+
+/**
+ * Append-side of a job's journal. Not internally synchronized: the
+ * campaign runner already serializes cellDone hooks under its
+ * completion mutex (campaign.hh).
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter() { close(); }
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /**
+     * Create (truncate) @p path and write the header frame.
+     * @return Whether the file opened and the header hit the OS.
+     */
+    bool create(const std::string &path, std::uint64_t jobId,
+                const CampaignSpec &spec);
+
+    /**
+     * Open an existing journal for appending further cell records
+     * (the --resume path; the header is already on disk).
+     */
+    bool openAppend(const std::string &path);
+
+    /** Append one completed cell, flushed before returning. */
+    bool append(const CellOutcome &cell);
+
+    void close();
+
+    bool isOpen() const { return file_ != nullptr; }
+    const std::string &path() const { return path_; }
+
+  private:
+    bool writeFrame(const std::vector<std::uint8_t> &frame);
+
+    std::FILE *file_ = nullptr;
+    std::string path_;
+};
+
+/** Everything recovered from one journal file. */
+struct JournalContents
+{
+    bool valid = false;
+    std::string error; ///< why valid is false (or a tail warning)
+    std::uint64_t jobId = 0;
+    std::uint64_t fingerprint = 0;
+    CampaignSpec spec;
+    /** Completed cells by index; duplicates keep the later record. */
+    std::map<std::uint32_t, CellOutcome> cells;
+    /** Whether a truncated trailing frame was dropped (benign). */
+    bool truncatedTail = false;
+};
+
+/**
+ * Read a journal back. valid == false means the header was
+ * unusable (wrong magic/fingerprint mismatch is the *caller's*
+ * check — here it means unreadable); a corrupt or truncated cell
+ * record stops replay at the last good frame with valid == true.
+ */
+JournalContents readJournal(const std::string &path);
+
+/** The journal filename for a job: "job<id>.mjr". */
+std::string journalFileName(std::uint64_t jobId);
+
+} // namespace macrosim::service
+
+#endif // MACROSIM_SERVICE_JOURNAL_HH

@@ -1,0 +1,114 @@
+#include "service/protocol.hh"
+
+namespace macrosim::service
+{
+
+const char *
+to_string(JobState s)
+{
+    switch (s) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Cancelled: return "cancelled";
+      case JobState::Failed: return "failed";
+    }
+    return "?";
+}
+
+void
+StatusReplyMsg::encode(BinSerializer &s) const
+{
+    s.u64(jobId);
+    s.u8(static_cast<std::uint8_t>(state));
+    s.u64(doneCells);
+    s.u64(totalCells);
+    s.f64(etaSec);
+    s.str(error);
+}
+
+bool
+StatusReplyMsg::decode(BinDeserializer &d)
+{
+    jobId = d.u64();
+    state = static_cast<JobState>(d.u8());
+    doneCells = d.u64();
+    totalCells = d.u64();
+    etaSec = d.f64();
+    error = d.str();
+    return d.ok();
+}
+
+void
+SubscribeReplyMsg::encode(BinSerializer &s) const
+{
+    s.u64(jobId);
+    s.u8(static_cast<std::uint8_t>(state));
+    s.u64(doneCells);
+    s.u64(totalCells);
+}
+
+bool
+SubscribeReplyMsg::decode(BinDeserializer &d)
+{
+    jobId = d.u64();
+    state = static_cast<JobState>(d.u8());
+    doneCells = d.u64();
+    totalCells = d.u64();
+    return d.ok();
+}
+
+void
+ResultsReplyMsg::encode(BinSerializer &s) const
+{
+    s.u64(jobId);
+    s.u8(static_cast<std::uint8_t>(state));
+    s.str(table);
+    s.varint(cells.size());
+    for (const CellOutcome &cell : cells)
+        cell.encode(s);
+}
+
+bool
+ResultsReplyMsg::decode(BinDeserializer &d)
+{
+    jobId = d.u64();
+    state = static_cast<JobState>(d.u8());
+    table = d.str();
+    const std::uint64_t n = d.varint();
+    if (!d.ok() || n > d.remaining())
+        return false;
+    cells.clear();
+    for (std::uint64_t i = 0; i < n && d.ok(); ++i) {
+        CellOutcome cell;
+        if (!cell.decode(d))
+            return false;
+        cells.push_back(std::move(cell));
+    }
+    return d.ok();
+}
+
+void
+ProgressEventMsg::encode(BinSerializer &s) const
+{
+    s.u64(jobId);
+    s.u32(cellIndex);
+    s.str(label);
+    s.u64(doneCells);
+    s.u64(totalCells);
+    s.f64(etaSec);
+}
+
+bool
+ProgressEventMsg::decode(BinDeserializer &d)
+{
+    jobId = d.u64();
+    cellIndex = d.u32();
+    label = d.str();
+    doneCells = d.u64();
+    totalCells = d.u64();
+    etaSec = d.f64();
+    return d.ok();
+}
+
+} // namespace macrosim::service

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * The macrosimd request/response/event protocol (DESIGN.md §13).
+ *
+ * Every message is one frame (service/wire.hh). Requests flow
+ * client → daemon; each gets exactly one reply (the matching
+ * *Reply, or ErrorReply). Events flow daemon → client, only on
+ * connections that subscribed to the job, interleaved with replies;
+ * clients demultiplex on the frame's message id.
+ *
+ * Message ids are partitioned by role so a stray frame is easy to
+ * classify: requests 1–63, replies 64–127, events 128–191, journal
+ * records 192+ (journal.hh reuses the frame format on disk).
+ */
+
+#ifndef MACROSIM_SERVICE_PROTOCOL_HH
+#define MACROSIM_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/campaign.hh"
+#include "service/wire.hh"
+
+namespace macrosim::service
+{
+
+enum class MsgId : std::uint16_t
+{
+    /* requests */
+    SubmitCampaign = 1,
+    QueryStatus = 2,
+    CancelJob = 3,
+    SubscribeProgress = 4,
+    FetchResults = 5,
+    Shutdown = 6,
+
+    /* replies */
+    SubmitReply = 64,
+    StatusReply = 65,
+    CancelReply = 66,
+    SubscribeReply = 67,
+    ResultsReply = 68,
+    ShutdownReply = 69,
+    ErrorReply = 70,
+
+    /* events */
+    ProgressEvent = 128,
+    CellDoneEvent = 129,
+    CampaignDoneEvent = 130,
+
+    /* journal records (never cross a socket) */
+    JournalHeader = 192,
+    JournalCell = 193,
+};
+
+enum class JobState : std::uint8_t
+{
+    Queued = 0,
+    Running = 1,
+    Done = 2,
+    Cancelled = 3,
+    Failed = 4,
+};
+
+const char *to_string(JobState s);
+
+struct SubmitCampaignMsg
+{
+    static constexpr MsgId id = MsgId::SubmitCampaign;
+    CampaignSpec spec;
+
+    void encode(BinSerializer &s) const { spec.encode(s); }
+    bool decode(BinDeserializer &d) { return spec.decode(d); }
+};
+
+/** Shared shape of the four single-jobId requests. */
+struct JobIdMsg
+{
+    std::uint64_t jobId = 0;
+
+    void encode(BinSerializer &s) const { s.u64(jobId); }
+    bool
+    decode(BinDeserializer &d)
+    {
+        jobId = d.u64();
+        return d.ok();
+    }
+};
+
+struct QueryStatusMsg : JobIdMsg
+{
+    static constexpr MsgId id = MsgId::QueryStatus;
+};
+
+struct CancelJobMsg : JobIdMsg
+{
+    static constexpr MsgId id = MsgId::CancelJob;
+};
+
+struct SubscribeProgressMsg : JobIdMsg
+{
+    static constexpr MsgId id = MsgId::SubscribeProgress;
+};
+
+struct FetchResultsMsg : JobIdMsg
+{
+    static constexpr MsgId id = MsgId::FetchResults;
+};
+
+struct ShutdownMsg
+{
+    static constexpr MsgId id = MsgId::Shutdown;
+
+    void encode(BinSerializer &) const {}
+    bool decode(BinDeserializer &d) { return d.ok(); }
+};
+
+struct SubmitReplyMsg
+{
+    static constexpr MsgId id = MsgId::SubmitReply;
+    std::uint64_t jobId = 0;
+    std::uint64_t totalCells = 0;
+
+    void
+    encode(BinSerializer &s) const
+    {
+        s.u64(jobId);
+        s.u64(totalCells);
+    }
+
+    bool
+    decode(BinDeserializer &d)
+    {
+        jobId = d.u64();
+        totalCells = d.u64();
+        return d.ok();
+    }
+};
+
+struct StatusReplyMsg
+{
+    static constexpr MsgId id = MsgId::StatusReply;
+    std::uint64_t jobId = 0;
+    JobState state = JobState::Queued;
+    std::uint64_t doneCells = 0;
+    std::uint64_t totalCells = 0;
+    double etaSec = 0.0;
+    std::string error; ///< non-empty when state == Failed
+
+    void encode(BinSerializer &s) const;
+    bool decode(BinDeserializer &d);
+};
+
+struct CancelReplyMsg
+{
+    static constexpr MsgId id = MsgId::CancelReply;
+    std::uint64_t jobId = 0;
+    bool accepted = false;
+
+    void
+    encode(BinSerializer &s) const
+    {
+        s.u64(jobId);
+        s.boolean(accepted);
+    }
+
+    bool
+    decode(BinDeserializer &d)
+    {
+        jobId = d.u64();
+        accepted = d.boolean();
+        return d.ok();
+    }
+};
+
+struct SubscribeReplyMsg
+{
+    static constexpr MsgId id = MsgId::SubscribeReply;
+    std::uint64_t jobId = 0;
+    JobState state = JobState::Queued;
+    std::uint64_t doneCells = 0;
+    std::uint64_t totalCells = 0;
+
+    void encode(BinSerializer &s) const;
+    bool decode(BinDeserializer &d);
+};
+
+struct ResultsReplyMsg
+{
+    static constexpr MsgId id = MsgId::ResultsReply;
+    std::uint64_t jobId = 0;
+    JobState state = JobState::Queued;
+    /** The canonical result table (CampaignResult::table()); empty
+     *  unless state is Done or Cancelled. */
+    std::string table;
+    /** Full binary outcomes, bit-exact (doubles as bit patterns). */
+    std::vector<CellOutcome> cells;
+
+    void encode(BinSerializer &s) const;
+    bool decode(BinDeserializer &d);
+};
+
+struct ShutdownReplyMsg
+{
+    static constexpr MsgId id = MsgId::ShutdownReply;
+
+    void encode(BinSerializer &) const {}
+    bool decode(BinDeserializer &d) { return d.ok(); }
+};
+
+enum class ErrorCode : std::uint32_t
+{
+    BadRequest = 1,   ///< frame decoded but request is invalid
+    UnknownJob = 2,   ///< no such job id
+    BadCampaign = 3,  ///< CampaignSpec::validate() failed
+    NotReady = 4,     ///< results requested before completion
+    Internal = 5,
+};
+
+struct ErrorReplyMsg
+{
+    static constexpr MsgId id = MsgId::ErrorReply;
+    std::uint32_t code = 0;
+    std::string text;
+
+    void
+    encode(BinSerializer &s) const
+    {
+        s.u32(code);
+        s.str(text);
+    }
+
+    bool
+    decode(BinDeserializer &d)
+    {
+        code = d.u32();
+        text = d.str();
+        return d.ok();
+    }
+};
+
+/** One cell finished (the "[job k/N]" line as a protocol event). */
+struct ProgressEventMsg
+{
+    static constexpr MsgId id = MsgId::ProgressEvent;
+    std::uint64_t jobId = 0;
+    std::uint32_t cellIndex = 0;
+    std::string label;
+    std::uint64_t doneCells = 0;
+    std::uint64_t totalCells = 0;
+    double etaSec = 0.0;
+
+    void encode(BinSerializer &s) const;
+    bool decode(BinDeserializer &d);
+};
+
+/** A cell's full outcome (with its StatRegistry snapshot when the
+ *  campaign asked for per-cell stats). */
+struct CellDoneEventMsg
+{
+    static constexpr MsgId id = MsgId::CellDoneEvent;
+    std::uint64_t jobId = 0;
+    CellOutcome cell;
+
+    void
+    encode(BinSerializer &s) const
+    {
+        s.u64(jobId);
+        cell.encode(s);
+    }
+
+    bool
+    decode(BinDeserializer &d)
+    {
+        jobId = d.u64();
+        return cell.decode(d) && d.ok();
+    }
+};
+
+struct CampaignDoneEventMsg
+{
+    static constexpr MsgId id = MsgId::CampaignDoneEvent;
+    std::uint64_t jobId = 0;
+    JobState state = JobState::Done;
+    std::string error;
+
+    void
+    encode(BinSerializer &s) const
+    {
+        s.u64(jobId);
+        s.u8(static_cast<std::uint8_t>(state));
+        s.str(error);
+    }
+
+    bool
+    decode(BinDeserializer &d)
+    {
+        jobId = d.u64();
+        state = static_cast<JobState>(d.u8());
+        error = d.str();
+        return d.ok();
+    }
+};
+
+/** Encode @p msg as a complete wire frame (length prefix included). */
+template <typename Msg>
+std::vector<std::uint8_t>
+encodeMessage(const Msg &msg)
+{
+    BinSerializer body;
+    msg.encode(body);
+    return encodeFrame(static_cast<std::uint16_t>(Msg::id), body);
+}
+
+/**
+ * Decode @p frame's body as @p Msg. Exact-consumption is enforced
+ * for same-minor frames; a newer minor may carry trailing fields.
+ */
+template <typename Msg>
+bool
+decodeMessage(const Frame &frame, Msg *out)
+{
+    if (frame.id != static_cast<std::uint16_t>(Msg::id))
+        return false;
+    BinDeserializer d(frame.body);
+    if (!out->decode(d))
+        return false;
+    if ((frame.version & 0xFF) <= protoMinor && !d.atEnd())
+        return false; // same or older minor: trailing bytes = corrupt
+    return true;
+}
+
+} // namespace macrosim::service
+
+#endif // MACROSIM_SERVICE_PROTOCOL_HH

@@ -1,0 +1,767 @@
+#include "service/server.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "service/journal.hh"
+#include "sim/logging.hh"
+#include "sim/sweep.hh"
+
+namespace macrosim::service
+{
+
+namespace
+{
+
+/** Count a result's executed (non-skipped) cells. */
+std::uint64_t
+cellsDone(const CampaignResult &res)
+{
+    std::uint64_t n = 0;
+    for (const CellOutcome &cell : res.cells)
+        if (!cell.skipped)
+            ++n;
+    return n;
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts)) {}
+
+Daemon::~Daemon()
+{
+    if (executor_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lk(jobsMutex_);
+            stopExecutor_ = true;
+        }
+        queueCv_.notify_all();
+        executor_.join();
+    }
+    for (auto &[fd, conn] : conns_)
+        ::close(fd);
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (wakeRead_ >= 0)
+        ::close(wakeRead_);
+    if (wakeWrite_ >= 0)
+        ::close(wakeWrite_);
+}
+
+bool
+Daemon::setupSocket()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.socketPath.empty()
+        || opts_.socketPath.size() >= sizeof(addr.sun_path)) {
+        warn("macrosimd: bad socket path '", opts_.socketPath, "'");
+        return false;
+    }
+    std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                opts_.socketPath.size() + 1);
+
+    ::unlink(opts_.socketPath.c_str());
+    listenFd_ = ::socket(AF_UNIX,
+                         SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0) {
+        warn("macrosimd: socket(): ", std::strerror(errno));
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        warn("macrosimd: bind('", opts_.socketPath,
+             "'): ", std::strerror(errno));
+        return false;
+    }
+    if (::listen(listenFd_, 16) != 0) {
+        warn("macrosimd: listen(): ", std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+bool
+Daemon::setupWakePipe()
+{
+    int fds[2];
+    if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+        warn("macrosimd: pipe2(): ", std::strerror(errno));
+        return false;
+    }
+    wakeRead_ = fds[0];
+    wakeWrite_ = fds[1];
+    return true;
+}
+
+void
+Daemon::resumeFromJournals()
+{
+    DIR *dir = ::opendir(opts_.journalDir.c_str());
+    if (dir == nullptr) {
+        warn("macrosimd: --resume: cannot open journal dir '",
+             opts_.journalDir, "': ", std::strerror(errno));
+        return;
+    }
+    std::vector<std::string> names;
+    while (dirent *ent = ::readdir(dir)) {
+        const std::string name = ent->d_name;
+        if (name.size() > 7 && name.rfind("job", 0) == 0
+            && name.compare(name.size() - 4, 4, ".mjr") == 0)
+            names.push_back(name);
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+
+    std::lock_guard<std::mutex> lk(jobsMutex_);
+    for (const std::string &name : names) {
+        const std::string path = opts_.journalDir + "/" + name;
+        JournalContents jc = readJournal(path);
+        if (!jc.valid) {
+            warn("macrosimd: --resume: skipping ", path, ": ",
+                 jc.error);
+            continue;
+        }
+        if (jc.fingerprint != jc.spec.fingerprint()) {
+            warn("macrosimd: --resume: skipping ", path,
+                 ": spec fingerprint mismatch (journal written by an "
+                 "incompatible build?)");
+            continue;
+        }
+        auto job = std::make_shared<Job>();
+        job->id = jc.jobId;
+        job->spec = jc.spec;
+        job->totalCells = jc.spec.cellCount();
+        job->hasJournal = true;
+        for (auto &[idx, cell] : jc.cells)
+            if (!cell.skipped && idx < job->totalCells)
+                job->prior.emplace(idx, std::move(cell));
+
+        if (job->prior.size() == job->totalCells) {
+            CampaignResult res;
+            res.spec = job->spec;
+            for (auto &[idx, cell] : job->prior)
+                res.cells.push_back(cell);
+            job->result = std::move(res);
+            job->state = JobState::Done;
+            job->doneCells = job->totalCells;
+            inform("macrosimd: resume: job ", job->id,
+                   " already complete (", job->totalCells, " cells)");
+        } else {
+            job->state = JobState::Queued;
+            job->doneCells = job->prior.size();
+            queue_.push_back(job->id);
+            inform("macrosimd: resume: job ", job->id, " re-queued (",
+                   job->prior.size(), "/", job->totalCells,
+                   " cells journaled)");
+        }
+        jobs_[job->id] = job;
+        nextJobId_ = std::max(nextJobId_, job->id + 1);
+    }
+}
+
+int
+Daemon::run()
+{
+    installSweepSignalHandlers();
+    if (!setupWakePipe() || !setupSocket())
+        return 1;
+    if (opts_.resume)
+        resumeFromJournals();
+
+    executor_ = std::thread(&Daemon::executorLoop, this);
+    inform("macrosimd: listening on ", opts_.socketPath,
+           " (journals in ", opts_.journalDir, ")");
+
+    while (!shuttingDown_) {
+        if (sweepInterrupted()) {
+            beginShutdown();
+            break;
+        }
+
+        std::vector<pollfd> fds;
+        fds.push_back({listenFd_, POLLIN, 0});
+        fds.push_back({wakeRead_, POLLIN, 0});
+        for (auto &[fd, conn] : conns_) {
+            short ev = POLLIN;
+            if (conn.outPos < conn.out.size())
+                ev |= POLLOUT;
+            fds.push_back({fd, ev, 0});
+        }
+
+        const int rc = ::poll(fds.data(), fds.size(), 200);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("macrosimd: poll(): ", std::strerror(errno));
+            break;
+        }
+
+        if (fds[1].revents != 0)
+            drainWakePipe();
+        routeOutbox();
+        if (fds[0].revents != 0)
+            acceptClients();
+
+        for (std::size_t i = 2; i < fds.size(); ++i) {
+            auto it = conns_.find(fds[i].fd);
+            if (it == conns_.end())
+                continue;
+            Connection &conn = it->second;
+            if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+                readFromConn(conn);
+            if (!conn.dead && (fds[i].revents & POLLOUT))
+                flushConn(conn);
+        }
+
+        for (auto it = conns_.begin(); it != conns_.end();) {
+            if (it->second.dead) {
+                ::close(it->first);
+                it = conns_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    // Graceful teardown: cancel the running campaign (its in-flight
+    // cells drain and are journaled), stop the executor, then flush
+    // final replies/events to whoever is still connected.
+    {
+        std::lock_guard<std::mutex> lk(jobsMutex_);
+        stopExecutor_ = true;
+        for (auto &[id, job] : jobs_)
+            if (job->state == JobState::Running)
+                job->cancel.store(true);
+    }
+    queueCv_.notify_all();
+    executor_.join();
+
+    drainWakePipe();
+    routeOutbox();
+    for (auto &[fd, conn] : conns_) {
+        flushConn(conn);
+        ::close(fd);
+    }
+    conns_.clear();
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::unlink(opts_.socketPath.c_str());
+
+    const int status = sweepExitStatus();
+    inform("macrosimd: shut down",
+           status != 0 ? " (interrupted)" : "");
+    return status;
+}
+
+void
+Daemon::beginShutdown()
+{
+    if (shuttingDown_)
+        return;
+    shuttingDown_ = true;
+    std::lock_guard<std::mutex> lk(jobsMutex_);
+    for (auto &[id, job] : jobs_)
+        if (job->state == JobState::Running)
+            job->cancel.store(true);
+}
+
+void
+Daemon::executorLoop()
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lk(jobsMutex_);
+            queueCv_.wait(lk, [&] {
+                return stopExecutor_ || !queue_.empty();
+            });
+            if (stopExecutor_)
+                return;
+            job = jobs_.at(queue_.front());
+            queue_.pop_front();
+            job->state = JobState::Running;
+        }
+        runJob(job);
+    }
+}
+
+void
+Daemon::runJob(const std::shared_ptr<Job> &job)
+{
+    const std::string path =
+        opts_.journalDir + "/" + journalFileName(job->id);
+    JournalWriter journal;
+    const bool jok = job->hasJournal
+                         ? journal.openAppend(path)
+                         : journal.create(path, job->id, job->spec);
+    if (!jok) {
+        const std::string err = "cannot open journal " + path;
+        {
+            std::lock_guard<std::mutex> lk(jobsMutex_);
+            job->state = JobState::Failed;
+            job->error = err;
+        }
+        CampaignDoneEventMsg done;
+        done.jobId = job->id;
+        done.state = JobState::Failed;
+        done.error = err;
+        postEvent(job->id, encodeMessage(done));
+        return;
+    }
+
+    // Hooks run on sweep worker threads, serialized by the campaign
+    // runner's completion mutex (campaign.hh).
+    std::uint64_t journaled = 0;
+    CampaignHooks hooks;
+    hooks.cancel = &job->cancel;
+    hooks.cellDone = [&](const CellOutcome &cell) {
+        if (!journal.append(cell))
+            warn("macrosimd: journal append failed for job ",
+                 job->id, " cell ", cell.index);
+        ++journaled;
+        CellDoneEventMsg ev;
+        ev.jobId = job->id;
+        ev.cell = cell;
+        postEvent(job->id, encodeMessage(ev));
+        // Crash injection for the kill/resume e2e: die as abruptly
+        // as a kill -9, right after the Nth cell hit the journal.
+        if (opts_.exitAfterCells != 0
+            && journaled >= opts_.exitAfterCells)
+            std::_Exit(42);
+    };
+    hooks.progress = [&](const CampaignProgress &p) {
+        {
+            std::lock_guard<std::mutex> lk(jobsMutex_);
+            job->doneCells = p.done;
+            job->etaSec = p.etaSec;
+        }
+        ProgressEventMsg ev;
+        ev.jobId = job->id;
+        ev.cellIndex = p.cellIndex;
+        ev.label = p.label;
+        ev.doneCells = p.done;
+        ev.totalCells = p.total;
+        ev.etaSec = p.etaSec;
+        postEvent(job->id, encodeMessage(ev));
+    };
+
+    CampaignResult res;
+    std::string err;
+    bool failed = false;
+    try {
+        res = runCampaignOffline(job->spec, opts_.jobs, hooks,
+                                 job->prior.empty() ? nullptr
+                                                    : &job->prior,
+                                 false);
+    } catch (const std::exception &e) {
+        failed = true;
+        err = e.what();
+    }
+    journal.close();
+
+    JobState final = JobState::Done;
+    if (failed) {
+        final = JobState::Failed;
+    } else if (res.interrupted) {
+        if (!job->cancel.load()) {
+            // Interrupted by daemon shutdown, not by CancelJob: put
+            // the job back to Queued so its state reads as
+            // resumable; the journal holds every completed cell.
+            std::lock_guard<std::mutex> lk(jobsMutex_);
+            job->state = JobState::Queued;
+            job->doneCells = cellsDone(res);
+            return;
+        }
+        final = JobState::Cancelled;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(jobsMutex_);
+        job->state = final;
+        job->error = err;
+        if (!failed) {
+            job->doneCells = cellsDone(res);
+            job->result = std::move(res);
+        }
+    }
+    CampaignDoneEventMsg done;
+    done.jobId = job->id;
+    done.state = final;
+    done.error = err;
+    postEvent(job->id, encodeMessage(done));
+}
+
+void
+Daemon::postEvent(std::uint64_t jobId, std::vector<std::uint8_t> frame)
+{
+    {
+        std::lock_guard<std::mutex> lk(outboxMutex_);
+        outbox_.emplace_back(jobId, std::move(frame));
+    }
+    const char byte = 1;
+    // A full pipe already guarantees a pending wake-up.
+    (void)!::write(wakeWrite_, &byte, 1);
+}
+
+void
+Daemon::acceptClients()
+{
+    for (;;) {
+        const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno != EAGAIN && errno != EWOULDBLOCK
+                && errno != EINTR)
+                warn("macrosimd: accept(): ", std::strerror(errno));
+            return;
+        }
+        Connection conn;
+        conn.fd = fd;
+        conns_.emplace(fd, std::move(conn));
+    }
+}
+
+void
+Daemon::drainWakePipe()
+{
+    char buf[256];
+    while (::read(wakeRead_, buf, sizeof(buf)) > 0) {}
+}
+
+void
+Daemon::routeOutbox()
+{
+    std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+        pending;
+    {
+        std::lock_guard<std::mutex> lk(outboxMutex_);
+        pending.swap(outbox_);
+    }
+    for (auto &[jobId, frame] : pending)
+        for (auto &[fd, conn] : conns_)
+            if (!conn.dead && conn.subscriptions.count(jobId) != 0)
+                queueToConn(conn, frame);
+}
+
+void
+Daemon::readFromConn(Connection &conn)
+{
+    for (;;) {
+        char buf[65536];
+        const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            conn.reader.feed(buf, static_cast<std::size_t>(n));
+            if (n < static_cast<ssize_t>(sizeof(buf)))
+                break;
+            continue;
+        }
+        if (n == 0) {
+            conn.dead = true;
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        conn.dead = true;
+        break;
+    }
+
+    while (!conn.dead) {
+        Frame frame;
+        std::string err;
+        const FrameReader::Status st = conn.reader.next(&frame, &err);
+        if (st == FrameReader::Status::NeedMore)
+            break;
+        if (st == FrameReader::Status::Bad) {
+            warn("macrosimd: dropping connection: ", err);
+            conn.dead = true;
+            break;
+        }
+        dispatchFrame(conn, frame);
+    }
+}
+
+void
+Daemon::flushConn(Connection &conn)
+{
+    while (conn.outPos < conn.out.size()) {
+        const ssize_t n =
+            ::send(conn.fd, conn.out.data() + conn.outPos,
+                   conn.out.size() - conn.outPos, MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.outPos += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return; // POLLOUT will resume
+        if (n < 0 && errno == EINTR)
+            continue;
+        conn.dead = true;
+        return;
+    }
+    conn.out.clear();
+    conn.outPos = 0;
+}
+
+void
+Daemon::queueToConn(Connection &conn,
+                    const std::vector<std::uint8_t> &bytes)
+{
+    if (conn.dead)
+        return;
+    conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
+    flushConn(conn);
+}
+
+void
+Daemon::dispatchFrame(Connection &conn, const Frame &frame)
+{
+    switch (static_cast<MsgId>(frame.id)) {
+      case MsgId::SubmitCampaign:
+        handleSubmit(conn, frame);
+        return;
+      case MsgId::QueryStatus:
+        handleStatus(conn, frame);
+        return;
+      case MsgId::CancelJob:
+        handleCancel(conn, frame);
+        return;
+      case MsgId::SubscribeProgress:
+        handleSubscribe(conn, frame);
+        return;
+      case MsgId::FetchResults:
+        handleResults(conn, frame);
+        return;
+      case MsgId::Shutdown:
+        handleShutdown(conn);
+        return;
+      default:
+        sendError(conn, ErrorCode::BadRequest,
+                  "unexpected message id "
+                      + std::to_string(frame.id));
+        return;
+    }
+}
+
+void
+Daemon::handleSubmit(Connection &conn, const Frame &frame)
+{
+    SubmitCampaignMsg msg;
+    if (!decodeMessage(frame, &msg)) {
+        sendError(conn, ErrorCode::BadRequest,
+                  "undecodable SubmitCampaign");
+        return;
+    }
+    const std::string problem = msg.spec.validate();
+    if (!problem.empty()) {
+        sendError(conn, ErrorCode::BadCampaign, problem);
+        return;
+    }
+    if (shuttingDown_) {
+        sendError(conn, ErrorCode::Internal, "daemon shutting down");
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->spec = msg.spec;
+    job->totalCells = msg.spec.cellCount();
+    {
+        std::lock_guard<std::mutex> lk(jobsMutex_);
+        job->id = nextJobId_++;
+        jobs_[job->id] = job;
+        queue_.push_back(job->id);
+    }
+    queueCv_.notify_one();
+
+    SubmitReplyMsg reply;
+    reply.jobId = job->id;
+    reply.totalCells = job->totalCells;
+    queueToConn(conn, encodeMessage(reply));
+    inform("macrosimd: job ", job->id, " submitted (",
+           job->totalCells, " cells)");
+}
+
+void
+Daemon::handleStatus(Connection &conn, const Frame &frame)
+{
+    QueryStatusMsg msg;
+    if (!decodeMessage(frame, &msg)) {
+        sendError(conn, ErrorCode::BadRequest,
+                  "undecodable QueryStatus");
+        return;
+    }
+    auto job = findJob(msg.jobId);
+    if (!job) {
+        sendError(conn, ErrorCode::UnknownJob,
+                  "no job " + std::to_string(msg.jobId));
+        return;
+    }
+    StatusReplyMsg reply;
+    {
+        std::lock_guard<std::mutex> lk(jobsMutex_);
+        reply.jobId = job->id;
+        reply.state = job->state;
+        reply.doneCells = job->doneCells;
+        reply.totalCells = job->totalCells;
+        reply.etaSec = job->etaSec;
+        reply.error = job->error;
+    }
+    queueToConn(conn, encodeMessage(reply));
+}
+
+void
+Daemon::handleCancel(Connection &conn, const Frame &frame)
+{
+    CancelJobMsg msg;
+    if (!decodeMessage(frame, &msg)) {
+        sendError(conn, ErrorCode::BadRequest,
+                  "undecodable CancelJob");
+        return;
+    }
+    auto job = findJob(msg.jobId);
+    if (!job) {
+        sendError(conn, ErrorCode::UnknownJob,
+                  "no job " + std::to_string(msg.jobId));
+        return;
+    }
+
+    bool accepted = false;
+    bool wasQueued = false;
+    {
+        std::lock_guard<std::mutex> lk(jobsMutex_);
+        if (job->state == JobState::Queued) {
+            auto it =
+                std::find(queue_.begin(), queue_.end(), job->id);
+            if (it != queue_.end())
+                queue_.erase(it);
+            job->state = JobState::Cancelled;
+            job->result.spec = job->spec;
+            job->result.interrupted = true;
+            accepted = true;
+            wasQueued = true;
+        } else if (job->state == JobState::Running) {
+            job->cancel.store(true);
+            accepted = true;
+        }
+    }
+    if (wasQueued) {
+        CampaignDoneEventMsg done;
+        done.jobId = job->id;
+        done.state = JobState::Cancelled;
+        postEvent(job->id, encodeMessage(done));
+    }
+
+    CancelReplyMsg reply;
+    reply.jobId = job->id;
+    reply.accepted = accepted;
+    queueToConn(conn, encodeMessage(reply));
+    if (accepted)
+        inform("macrosimd: job ", job->id, " cancel requested");
+}
+
+void
+Daemon::handleSubscribe(Connection &conn, const Frame &frame)
+{
+    SubscribeProgressMsg msg;
+    if (!decodeMessage(frame, &msg)) {
+        sendError(conn, ErrorCode::BadRequest,
+                  "undecodable SubscribeProgress");
+        return;
+    }
+    auto job = findJob(msg.jobId);
+    if (!job) {
+        sendError(conn, ErrorCode::UnknownJob,
+                  "no job " + std::to_string(msg.jobId));
+        return;
+    }
+    conn.subscriptions.insert(msg.jobId);
+    SubscribeReplyMsg reply;
+    {
+        std::lock_guard<std::mutex> lk(jobsMutex_);
+        reply.jobId = job->id;
+        reply.state = job->state;
+        reply.doneCells = job->doneCells;
+        reply.totalCells = job->totalCells;
+    }
+    queueToConn(conn, encodeMessage(reply));
+}
+
+void
+Daemon::handleResults(Connection &conn, const Frame &frame)
+{
+    FetchResultsMsg msg;
+    if (!decodeMessage(frame, &msg)) {
+        sendError(conn, ErrorCode::BadRequest,
+                  "undecodable FetchResults");
+        return;
+    }
+    auto job = findJob(msg.jobId);
+    if (!job) {
+        sendError(conn, ErrorCode::UnknownJob,
+                  "no job " + std::to_string(msg.jobId));
+        return;
+    }
+    ResultsReplyMsg reply;
+    {
+        std::lock_guard<std::mutex> lk(jobsMutex_);
+        reply.jobId = job->id;
+        reply.state = job->state;
+        if (job->state == JobState::Done
+            || job->state == JobState::Cancelled) {
+            reply.table = job->result.table();
+            reply.cells = job->result.cells;
+        }
+    }
+    if (reply.state == JobState::Queued
+        || reply.state == JobState::Running) {
+        sendError(conn, ErrorCode::NotReady,
+                  "job " + std::to_string(msg.jobId)
+                      + " not finished ("
+                      + to_string(reply.state) + ")");
+        return;
+    }
+    queueToConn(conn, encodeMessage(reply));
+}
+
+void
+Daemon::handleShutdown(Connection &conn)
+{
+    ShutdownReplyMsg reply;
+    queueToConn(conn, encodeMessage(reply));
+    inform("macrosimd: shutdown requested");
+    beginShutdown();
+}
+
+void
+Daemon::sendError(Connection &conn, ErrorCode code,
+                  const std::string &text)
+{
+    ErrorReplyMsg reply;
+    reply.code = static_cast<std::uint32_t>(code);
+    reply.text = text;
+    queueToConn(conn, encodeMessage(reply));
+}
+
+std::shared_ptr<Daemon::Job>
+Daemon::findJob(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lk(jobsMutex_);
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second;
+}
+
+} // namespace macrosim::service

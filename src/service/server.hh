@@ -1,0 +1,165 @@
+/**
+ * @file
+ * macrosimd: the simulation-as-a-service daemon (DESIGN.md §13).
+ *
+ * One poll()-driven thread owns the Unix-domain listening socket and
+ * every connection (nonblocking sockets, a FrameReader and a write
+ * buffer per connection); one executor thread drains the campaign
+ * job queue, running one campaign at a time through
+ * runCampaignOffline() — so a daemon-run campaign goes through
+ * exactly the same SweepRunner/seed-derivation path as an offline
+ * bench run and produces a bit-identical result table.
+ *
+ * Campaign hooks fire on sweep worker threads; they append to the
+ * job's journal (checkpoint) and post protocol events into an
+ * outbox, then wake the poll loop through a self-pipe, which routes
+ * each event to the connections subscribed to that job.
+ *
+ * SIGINT/SIGTERM request a graceful shutdown: the running campaign
+ * is cancelled cooperatively (in-flight cells drain and are
+ * journaled), the journal is flushed, and the daemon exits 130 so a
+ * later --resume re-runs only the unfinished cells.
+ */
+
+#ifndef MACROSIM_SERVICE_SERVER_HH
+#define MACROSIM_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/campaign.hh"
+#include "service/protocol.hh"
+#include "service/wire.hh"
+
+namespace macrosim::service
+{
+
+struct DaemonOptions
+{
+    /** Unix-domain socket path to listen on (required). */
+    std::string socketPath;
+    /** Directory holding one job<id>.mjr journal per job. */
+    std::string journalDir = ".";
+    /** Replay journalDir on startup, re-queueing unfinished jobs. */
+    bool resume = false;
+    /** Sweep worker threads per campaign (0 = hardware default). */
+    std::size_t jobs = 0;
+    /**
+     * Crash-injection hook for the kill/resume e2e test: _exit(42)
+     * immediately after the Nth cell journaled in this process
+     * (0 = disabled). Deterministic, unlike a timed kill.
+     */
+    std::uint64_t exitAfterCells = 0;
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonOptions opts);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Bind, (optionally) resume, serve until Shutdown or a signal.
+     * @return Process exit status (0, or 130 on signal).
+     */
+    int run();
+
+  private:
+    struct Job
+    {
+        std::uint64_t id = 0;
+        CampaignSpec spec;
+        JobState state = JobState::Queued;
+        std::uint64_t doneCells = 0;
+        std::uint64_t totalCells = 0;
+        double etaSec = 0.0;
+        std::string error;
+        /** Valid once state is Done/Cancelled/Failed. */
+        CampaignResult result;
+        /** Journal-replayed outcomes to splice (resume path). */
+        std::map<std::uint32_t, CellOutcome> prior;
+        /** Journal already has its header (resume path). */
+        bool hasJournal = false;
+        std::atomic<bool> cancel{false};
+    };
+
+    struct Connection
+    {
+        int fd = -1;
+        FrameReader reader;
+        std::vector<std::uint8_t> out;
+        std::size_t outPos = 0;
+        std::set<std::uint64_t> subscriptions;
+        bool dead = false;
+    };
+
+    bool setupSocket();
+    bool setupWakePipe();
+    void resumeFromJournals();
+
+    void executorLoop();
+    void runJob(const std::shared_ptr<Job> &job);
+
+    /** Queue an event frame for subscribers of @p jobId and wake
+     *  the poll loop (called from sweep worker threads). */
+    void postEvent(std::uint64_t jobId,
+                   std::vector<std::uint8_t> frame);
+
+    void acceptClients();
+    void drainWakePipe();
+    void routeOutbox();
+    void readFromConn(Connection &conn);
+    void flushConn(Connection &conn);
+    void queueToConn(Connection &conn,
+                     const std::vector<std::uint8_t> &bytes);
+
+    void dispatchFrame(Connection &conn, const Frame &frame);
+    void handleSubmit(Connection &conn, const Frame &frame);
+    void handleStatus(Connection &conn, const Frame &frame);
+    void handleCancel(Connection &conn, const Frame &frame);
+    void handleSubscribe(Connection &conn, const Frame &frame);
+    void handleResults(Connection &conn, const Frame &frame);
+    void handleShutdown(Connection &conn);
+    void sendError(Connection &conn, ErrorCode code,
+                   const std::string &text);
+
+    void beginShutdown();
+
+    std::shared_ptr<Job> findJob(std::uint64_t id);
+
+    DaemonOptions opts_;
+    int listenFd_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    std::map<int, Connection> conns_;
+
+    std::mutex jobsMutex_;
+    std::condition_variable queueCv_;
+    std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+    std::deque<std::uint64_t> queue_;
+    std::uint64_t nextJobId_ = 1;
+    bool stopExecutor_ = false;
+
+    std::mutex outboxMutex_;
+    std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+        outbox_;
+
+    std::thread executor_;
+    bool shuttingDown_ = false;
+};
+
+} // namespace macrosim::service
+
+#endif // MACROSIM_SERVICE_SERVER_HH

@@ -1,7 +1,10 @@
 #include "sim/logging.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
+#include <utility>
 
 namespace macrosim
 {
@@ -11,7 +14,30 @@ namespace
 // Atomic: sweep worker threads warn concurrently.
 std::atomic<bool> quietFlag{false};
 std::atomic<std::uint64_t> warnCount{0};
+
+// Status-line sink: guarded by a mutex, worker threads emit
+// progress concurrently.
+std::mutex statusMutex;
+std::function<void(const std::string &)> statusSink;
 } // namespace
+
+void
+statusLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(statusMutex);
+    if (statusSink) {
+        statusSink(line);
+        return;
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+void
+setStatusSink(std::function<void(const std::string &)> sink)
+{
+    std::lock_guard<std::mutex> lock(statusMutex);
+    statusSink = std::move(sink);
+}
 
 void
 setQuiet(bool q)

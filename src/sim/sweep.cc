@@ -1,0 +1,169 @@
+#include "sim/sweep.hh"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace macrosim
+{
+
+namespace
+{
+
+std::mutex progressMutex;
+
+/** Async-signal-safe interrupt latch (SIGINT/SIGTERM). */
+volatile std::sig_atomic_t signalInterrupt = 0;
+
+/** Programmatic latch (requestSweepInterrupt; tests, daemon). */
+std::atomic<bool> manualInterrupt{false};
+
+void
+onSweepSignal(int)
+{
+    signalInterrupt = 1;
+}
+
+} // namespace
+
+std::size_t
+defaultJobs()
+{
+    if (const char *env = std::getenv("MACROSIM_JOBS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+sweepLog(const std::string &line)
+{
+    statusLine(line);
+}
+
+void
+installSweepSignalHandlers()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        struct sigaction sa = {};
+        sa.sa_handler = onSweepSignal;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0; // no SA_RESTART: interrupt blocking calls
+        sigaction(SIGINT, &sa, nullptr);
+        sigaction(SIGTERM, &sa, nullptr);
+    });
+}
+
+bool
+sweepInterrupted()
+{
+    return signalInterrupt != 0
+           || manualInterrupt.load(std::memory_order_relaxed);
+}
+
+void
+requestSweepInterrupt()
+{
+    manualInterrupt.store(true, std::memory_order_relaxed);
+}
+
+void
+clearSweepInterrupt()
+{
+    signalInterrupt = 0;
+    manualInterrupt.store(false, std::memory_order_relaxed);
+}
+
+int
+sweepExitStatus()
+{
+    return sweepInterrupted() ? 130 : 0;
+}
+
+SweepRunner::SweepRunner(std::size_t jobs, bool progress)
+    : jobs_(jobs > 0 ? jobs : defaultJobs()), progress_(progress)
+{}
+
+void
+SweepRunner::beginSweep(std::size_t total,
+                        std::chrono::steady_clock::time_point start)
+{
+    std::lock_guard<std::mutex> lock(progressMutex);
+    total_ = total;
+    done_ = 0;
+    sweepStart_ = start;
+}
+
+void
+SweepRunner::noteJobDone(const std::string &label, double ns,
+                         double *busy_ns)
+{
+    std::lock_guard<std::mutex> lock(progressMutex);
+    *busy_ns += ns;
+    ++done_;
+    // ETA from monotonic elapsed / cells finished: cells complete in
+    // the same ratio no matter how many workers run them, so the
+    // estimate holds for any --jobs value.
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - sweepStart_)
+            .count();
+    const double eta_s = done_ < total_
+        ? elapsed_s / static_cast<double>(done_)
+            * static_cast<double>(total_ - done_)
+        : 0.0;
+    if (observer_) {
+        SweepJobDone report;
+        report.done = done_;
+        report.total = total_;
+        report.label = label;
+        report.wallNs = ns;
+        report.etaSec = eta_s;
+        observer_(report);
+        return;
+    }
+    if (!progress_)
+        return;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  [job %zu/%zu] %s: %.1f ms (eta %.1f s)", done_,
+                  total_, label.c_str(), ns * 1e-6, eta_s);
+    statusLine(line);
+}
+
+void
+SweepRunner::noteSweepDone(const std::string &name,
+                           std::size_t completed, std::size_t count,
+                           bool interrupted, double wall_ns,
+                           double busy_ns)
+{
+    if (!progress_)
+        return;
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(1);
+    if (interrupted) {
+        os << "[sweep] " << name << ": INTERRUPTED after "
+           << completed << "/" << count << " jobs ("
+           << wall_ns * 1e-6
+           << " ms wall); completed cells were flushed";
+    } else {
+        os << "[sweep] " << name << ": " << count << " jobs on "
+           << jobs_ << " threads, " << wall_ns * 1e-6
+           << " ms wall, " << busy_ns * 1e-6 << " ms cpu, speedup ";
+        os.precision(2);
+        os << (wall_ns > 0.0 ? busy_ns / wall_ns : 0.0) << "x";
+    }
+    statusLine(os.str());
+}
+
+} // namespace macrosim

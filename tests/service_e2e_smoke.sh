@@ -1,0 +1,101 @@
+#!/bin/sh
+# End-to-end smoke test for the macrosimd service (DESIGN.md §13).
+#
+# Runs the --smoke campaign three ways and byte-compares the result
+# tables:
+#   1. offline, in-process (the reference);
+#   2. through a daemon that is killed (deterministically, via
+#      --exit-after-cells=2) mid-campaign and restarted with
+#      --resume;
+#   3. nothing else — the resumed daemon must finish the job and
+#      serve a table identical to (1).
+#
+# Usage: service_e2e_smoke.sh <macrosimd> <macrosimctl> <workdir>
+set -eu
+
+MACROSIMD=$1
+MACROSIMCTL=$2
+WORK=$3
+
+rm -rf "$WORK"
+mkdir -p "$WORK/journal"
+# Unix socket paths are capped at ~108 bytes; build trees can be
+# deep, so put the socket in /tmp keyed by PID.
+SOCK="/tmp/macrosim_e2e_$$.sock"
+
+cleanup() {
+    [ -n "${DPID:-}" ] && kill "$DPID" 2>/dev/null || true
+    rm -f "$SOCK"
+}
+trap cleanup EXIT INT TERM
+
+wait_for_socket() {
+    i=0
+    while [ ! -S "$SOCK" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "FAIL: daemon never created $SOCK" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "== 1. offline reference run"
+"$MACROSIMCTL" offline --smoke --jobs=2 --output="$WORK/ref.csv" \
+    2>/dev/null
+
+echo "== 2. daemon run, killed after 2 journaled cells"
+"$MACROSIMD" --socket="$SOCK" --journal-dir="$WORK/journal" \
+    --jobs=2 --exit-after-cells=2 >"$WORK/daemon1.log" 2>&1 &
+DPID=$!
+wait_for_socket
+"$MACROSIMCTL" --socket="$SOCK" submit --smoke >/dev/null 2>&1 || true
+# The daemon _exit(42)s after journaling its 2nd cell.
+rc=0
+wait "$DPID" || rc=$?
+DPID=
+if [ "$rc" -ne 42 ]; then
+    echo "FAIL: first daemon exited $rc, expected 42" >&2
+    cat "$WORK/daemon1.log" >&2
+    exit 1
+fi
+if [ ! -s "$WORK/journal/job1.mjr" ]; then
+    echo "FAIL: no journal written" >&2
+    exit 1
+fi
+
+echo "== 3. resumed daemon finishes the job"
+# The killed daemon left its socket file behind; remove it so
+# wait_for_socket waits for the new daemon's bind (the client also
+# retries refused connections, covering the remaining window).
+rm -f "$SOCK"
+"$MACROSIMD" --socket="$SOCK" --journal-dir="$WORK/journal" \
+    --jobs=2 --resume >"$WORK/daemon2.log" 2>&1 &
+DPID=$!
+wait_for_socket
+"$MACROSIMCTL" --socket="$SOCK" results 1 --wait \
+    --output="$WORK/resumed.csv" 2>"$WORK/ctl.log"
+grep -q "re-queued" "$WORK/daemon2.log" || {
+    echo "FAIL: resume did not re-queue the journaled job" >&2
+    cat "$WORK/daemon2.log" >&2
+    exit 1
+}
+"$MACROSIMCTL" --socket="$SOCK" shutdown 2>/dev/null
+rc=0
+wait "$DPID" || rc=$?
+DPID=
+if [ "$rc" -ne 0 ]; then
+    echo "FAIL: resumed daemon exited $rc" >&2
+    cat "$WORK/daemon2.log" >&2
+    exit 1
+fi
+
+echo "== 4. byte-compare resumed table against offline reference"
+if ! cmp "$WORK/ref.csv" "$WORK/resumed.csv"; then
+    echo "FAIL: resumed table differs from offline reference" >&2
+    diff "$WORK/ref.csv" "$WORK/resumed.csv" >&2 || true
+    exit 1
+fi
+
+echo "PASS: kill/resume table is byte-identical to the offline run"

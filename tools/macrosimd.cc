@@ -1,0 +1,82 @@
+/**
+ * @file
+ * macrosimd — the simulation-as-a-service daemon (DESIGN.md §13).
+ *
+ * Serves the macrosim campaign protocol on a Unix-domain socket:
+ *
+ *   macrosimd --socket=/tmp/macrosim.sock --journal-dir=/tmp/jobs
+ *   macrosimd --socket=... --journal-dir=... --resume
+ *
+ * Every completed cell is journaled before its event is published,
+ * so a killed daemon restarted with --resume re-runs only the
+ * unfinished cells and produces a byte-identical result table.
+ * --exit-after-cells=N is the deterministic crash-injection hook
+ * behind the service_e2e_smoke test.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "flags.hh"
+#include "service/server.hh"
+#include "sim/logging.hh"
+
+using namespace macrosim;
+using namespace macrosim::bench;
+using namespace macrosim::service;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: macrosimd --socket=PATH [options]\n"
+        "  --socket=PATH           Unix-domain socket to listen on\n"
+        "  --journal-dir=DIR       per-job checkpoint journals "
+        "(default .)\n"
+        "  --resume                replay journals, re-running only "
+        "unfinished cells\n"
+        "  --jobs=N                sweep worker threads per campaign\n"
+        "  --exit-after-cells=N    _exit(42) after the Nth journaled "
+        "cell (test hook)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (stripSwitch(argc, argv, "help")) {
+        usage();
+        return 0;
+    }
+
+    DaemonOptions opts;
+    stripValueFlag(argc, argv, "socket", &opts.socketPath);
+    stripValueFlag(argc, argv, "journal-dir", &opts.journalDir);
+    opts.resume = stripSwitch(argc, argv, "resume");
+    opts.jobs = stripJobsFlag(argc, argv);
+    stripNumberFlag(argc, argv, "exit-after-cells",
+                    &opts.exitAfterCells);
+
+    if (argc > 1 || opts.socketPath.empty()) {
+        if (argc > 1)
+            std::fprintf(stderr, "macrosimd: unexpected argument "
+                         "'%s'\n", argv[1]);
+        else
+            std::fprintf(stderr, "macrosimd: --socket is required\n");
+        usage();
+        return 2;
+    }
+
+    try {
+        Daemon daemon(std::move(opts));
+        return daemon.run();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "macrosimd: %s\n", e.what());
+        return 1;
+    }
+}
