@@ -1,6 +1,8 @@
 #include "flags.hh"
 
+#include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
@@ -10,6 +12,37 @@
 
 namespace macrosim::bench
 {
+
+namespace
+{
+
+/**
+ * Strict unsigned parse shared by every numeric flag: the whole
+ * string must be one non-negative integer (any strtoull base).
+ * Rejects what strtoull quietly accepts — empty strings, trailing
+ * garbage ("4x"), negative values (which strtoull wraps), leading
+ * whitespace — and out-of-range values uniformly, all via fatal()
+ * naming the offending flag.
+ */
+std::uint64_t
+parseUnsignedOrFatal(const char *what, const std::string &text)
+{
+    const char *s = text.c_str();
+    if (*s == '\0' || std::isspace(static_cast<unsigned char>(*s))
+        || *s == '-' || *s == '+') {
+        fatal(what, " must be an unsigned integer, got '", text, "'");
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0')
+        fatal(what, " must be an unsigned integer, got '", text, "'");
+    if (errno == ERANGE)
+        fatal(what, " is out of range, got '", text, "'");
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
 
 bool
 stripValueFlag(int &argc, char **argv, const char *name,
@@ -61,13 +94,8 @@ stripNumberFlag(int &argc, char **argv, const char *name,
     std::string text;
     if (!stripValueFlag(argc, argv, name, &text))
         return false;
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
-    if (errno != 0 || end == text.c_str() || *end != '\0')
-        fatal("--", name, " must be an unsigned integer, got '",
-              text, "'");
-    *value = static_cast<std::uint64_t>(v);
+    *value = parseUnsignedOrFatal(
+        (std::string("--") + name).c_str(), text);
     return true;
 }
 
@@ -96,13 +124,8 @@ seedArg(int &argc, char **argv, std::uint64_t fallback)
             return fallback;
         text = env;
     }
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
-    if (errno != 0 || end == text.c_str() || *end != '\0')
-        fatal("seedArg: --seed / MACROSIM_SEED must be an unsigned "
-              "integer, got '", text, "'");
-    return static_cast<std::uint64_t>(v);
+    return parseUnsignedOrFatal("seedArg: --seed / MACROSIM_SEED",
+                                text);
 }
 
 namespace
@@ -143,8 +166,9 @@ telemetryArgs(int &argc, char **argv)
     stripValueFlag(argc, argv, "metrics", &opts.metricsPath);
     std::string period;
     if (stripValueFlag(argc, argv, "metrics-period", &period)) {
-        const long long v = std::atoll(period.c_str());
-        if (v <= 0)
+        const std::uint64_t v =
+            parseUnsignedOrFatal("--metrics-period", period);
+        if (v == 0)
             fatal("telemetryArgs: --metrics-period must be a "
                   "positive tick count, got '", period, "'");
         opts.metricsPeriod = static_cast<Tick>(v);
@@ -223,7 +247,8 @@ campaignArgs(int &argc, char **argv)
             errno = 0;
             char *end = nullptr;
             const double v = std::strtod(item.c_str(), &end);
-            if (errno != 0 || end == item.c_str() || *end != '\0')
+            if (errno != 0 || end == item.c_str() || *end != '\0'
+                || !std::isfinite(v) || v < 0.0)
                 fatal("--loads: bad load fraction '", item, "'");
             spec.loads.push_back(v);
         }

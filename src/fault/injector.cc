@@ -16,6 +16,28 @@ FaultInjector::FaultInjector(Simulator &sim, Network &net,
                        .margin(params.launch, params.sensitivity)
                        .value())
 {
+    batching_ = batchDispatchDefault();
+    injectKernel_ = sim_.events().registerBatchKernel(
+        "fault.inject", &FaultInjector::injectBatch, this);
+
+    // Flatten the base path once: the per-element loss terms, in path
+    // order, are exactly what totalLoss() folds — keeping them as a
+    // dense array lets evaluateFlat() replay the identical operation
+    // sequence without rebuilding (and heap-copying) the path.
+    baseExtraDb_ = params_.basePath.extraLoss().value();
+    elemLossDb_.reserve(params_.basePath.elements().size());
+    for (const PathElement &e : params_.basePath.elements()) {
+        elemLossDb_.push_back(
+            (properties(e.component).insertionLoss * e.count).value());
+    }
+    launchDbm_ = params_.launch.value();
+    sensitivityDbm_ = params_.sensitivity.value();
+
+    // Seed one degradation lane per faultable link of the topology,
+    // so sweepMargins() covers the whole network from the start.
+    for (const auto &[a, b] : net_.faultableLinks())
+        laneFor(FaultTarget{FaultTarget::Scope::Channel, a, b}.key());
+
     registerStats();
 }
 
@@ -42,6 +64,31 @@ FaultInjector::registerStats()
     reg.add(prefix + ".min_margin_db", [this] {
         return minMarginDb_;
     });
+    reg.add(prefix + ".tracked_links", [this] {
+        return static_cast<double>(laneKeys_.size());
+    });
+}
+
+std::uint32_t
+FaultInjector::laneFor(std::uint64_t key)
+{
+    const auto it = laneIndex_.find(key);
+    if (it != laneIndex_.end())
+        return it->second;
+    const auto i = static_cast<std::uint32_t>(laneKeys_.size());
+    laneKeys_.push_back(key);
+    droopDb_.push_back(0.0);
+    dropDb_.push_back(0.0);
+    wgDb_.push_back(0.0);
+    rxDb_.push_back(0.0);
+    killed_.push_back(0);
+    // A fresh lane's margin is the base margin; cache it directly so
+    // construction does not pay one evaluate per faultable link.
+    marginDb_.push_back(params_.basePath
+                            .margin(params_.launch, params_.sensitivity)
+                            .value());
+    laneIndex_.try_emplace(key, i);
+    return i;
 }
 
 void
@@ -52,41 +99,117 @@ FaultInjector::arm()
     armed_ = true;
     armedEvents_ = schedule_.ordered();
     for (std::size_t i = 0; i < armedEvents_.size(); ++i) {
-        sim_.events().schedule(armedEvents_[i].at,
-                               [this, i] { apply(armedEvents_[i]); },
-                               "fault.inject");
+        if (batching_) {
+            sim_.events().scheduleBatch(
+                armedEvents_[i].at, injectKernel_,
+                static_cast<std::uint32_t>(i));
+        } else {
+            sim_.events().schedule(armedEvents_[i].at,
+                                   [this, i] { apply(armedEvents_[i]); },
+                                   "fault.inject");
+        }
     }
 }
 
-LinkHealth
-FaultInjector::evaluate(const Health &h, double &margin_db) const
+void
+FaultInjector::injectBatch(void *ctx, Tick when,
+                           const std::uint32_t *payloads,
+                           std::size_t count)
+{
+    (void)when;
+    auto *inj = static_cast<FaultInjector *>(ctx);
+    for (std::size_t i = 0; i < count; ++i)
+        inj->apply(inj->armedEvents_[payloads[i]]);
+}
+
+double
+FaultInjector::evaluateScalar(const Health &h) const
 {
     // The accumulated soft degradation re-runs the section 2 budget:
     // added component loss through deratedPath(), dimmer launch,
-    // deafer receiver. One arithmetic path, shared with the tests.
-    const Decibel margin = params_.basePath
+    // deafer receiver. This is the reference arithmetic the flat
+    // lanes must reproduce bit for bit.
+    return params_.basePath
         .deratedPath(Decibel(h.dropDb + h.wgDb))
         .margin(params_.launch - Decibel(h.droopDb),
-                params_.sensitivity + Decibel(h.rxDb));
-    margin_db = margin.value();
+                params_.sensitivity + Decibel(h.rxDb))
+        .value();
+}
 
+double
+FaultInjector::evaluateFlat(std::uint32_t i) const
+{
+    // Same operation sequence as evaluateScalar: totalLoss() starts
+    // from the extra (derate) loss and folds each element's term in
+    // path order; margin is (launch - loss) - sensitivity. Keeping
+    // the fold order makes the two paths bit-identical despite FP
+    // non-associativity.
+    double total = baseExtraDb_ + (dropDb_[i] + wgDb_[i]);
+    for (const double term : elemLossDb_)
+        total += term;
+    return ((launchDbm_ - droopDb_[i]) - total)
+        - (sensitivityDbm_ + rxDb_[i]);
+}
+
+double
+FaultInjector::marginOfLane(std::uint32_t i) const
+{
+    if (batching_)
+        return evaluateFlat(i);
+    return evaluateScalar(Health{droopDb_[i], dropDb_[i], wgDb_[i],
+                                 rxDb_[i], killed_[i] != 0});
+}
+
+LinkHealth
+FaultInjector::healthAt(std::uint32_t i, double margin_db) const
+{
     LinkHealth out;
-    out.down = h.killed || margin.value() < 0.0;
-    if (!out.down && margin < params_.derateThreshold)
+    out.down = killed_[i] != 0 || margin_db < 0.0;
+    if (!out.down && margin_db < params_.derateThreshold.value())
         out.bandwidthFraction = params_.deratedFraction;
     return out;
 }
 
 double
+FaultInjector::sweepMargins()
+{
+    if (laneKeys_.empty()) {
+        return params_.basePath
+            .margin(params_.launch, params_.sensitivity)
+            .value();
+    }
+    if (batching_) {
+        // One flat pass over the lanes: the hot loop the compiler can
+        // vectorize — no path copies, no Decibel temporaries.
+        const std::size_t n = laneKeys_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            double total = baseExtraDb_ + (dropDb_[i] + wgDb_[i]);
+            for (const double term : elemLossDb_)
+                total += term;
+            marginDb_[i] = ((launchDbm_ - droopDb_[i]) - total)
+                - (sensitivityDbm_ + rxDb_[i]);
+        }
+    } else {
+        for (std::size_t i = 0; i < laneKeys_.size(); ++i) {
+            marginDb_[i] = evaluateScalar(
+                Health{droopDb_[i], dropDb_[i], wgDb_[i], rxDb_[i],
+                       killed_[i] != 0});
+        }
+    }
+    double min = marginDb_[0];
+    for (const double m : marginDb_)
+        min = m < min ? m : min;
+    return min;
+}
+
+double
 FaultInjector::marginDbOf(const FaultTarget &target) const
 {
-    Health h;
-    const auto it = channels_.find(target.key());
-    if (it != channels_.end())
-        h = it->second;
-    double margin_db = 0.0;
-    evaluate(h, margin_db);
-    return margin_db;
+    const auto it = laneIndex_.find(target.key());
+    if (it != laneIndex_.end())
+        return marginOfLane(it->second);
+    // Unknown target: fresh health, base margin.
+    return evaluateScalar(Health{});
 }
 
 void
@@ -107,35 +230,40 @@ FaultInjector::apply(const FaultEvent &ev)
 void
 FaultInjector::applyChannel(const FaultEvent &ev)
 {
-    Health &h = channels_[ev.target.key()];
-    double before_db = 0.0;
-    const LinkHealth before = evaluate(h, before_db);
+    const std::uint32_t lane = laneFor(ev.target.key());
+    const double before_db = marginOfLane(lane);
+    const LinkHealth before = healthAt(lane, before_db);
 
     switch (ev.kind) {
       case FaultKind::LaserDroop:
-        h.droopDb += ev.magnitudeDb;
+        droopDb_[lane] += ev.magnitudeDb;
         break;
       case FaultKind::RingDrift:
-        h.dropDb += ev.magnitudeDb;
+        dropDb_[lane] += ev.magnitudeDb;
         break;
       case FaultKind::WaveguideCreep:
-        h.wgDb += ev.magnitudeDb;
+        wgDb_[lane] += ev.magnitudeDb;
         break;
       case FaultKind::ReceiverDegrade:
-        h.rxDb += ev.magnitudeDb;
+        rxDb_[lane] += ev.magnitudeDb;
         break;
       case FaultKind::ChannelKill:
-        h.killed = true;
+        killed_[lane] = 1;
         break;
       case FaultKind::Repair:
-        h = Health{};
+        droopDb_[lane] = 0.0;
+        dropDb_[lane] = 0.0;
+        wgDb_[lane] = 0.0;
+        rxDb_[lane] = 0.0;
+        killed_[lane] = 0;
         break;
       case FaultKind::SiteKill:
         panic("FaultInjector: SiteKill against a channel target");
     }
 
-    double after_db = 0.0;
-    const LinkHealth after = evaluate(h, after_db);
+    const double after_db = marginOfLane(lane);
+    marginDb_[lane] = after_db;
+    const LinkHealth after = healthAt(lane, after_db);
     if (!net_.applyLinkHealth(ev.target.a, ev.target.b, after)) {
         warn_once("fault: network '", net_.name(),
                   "' has no channel (", ev.target.a, ", ",

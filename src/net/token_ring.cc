@@ -5,14 +5,38 @@
 namespace macrosim
 {
 
+namespace
+{
+
+/** Index of the lowest set bit. @pre word != 0. */
+inline unsigned
+lowestSetBit(std::uint64_t word)
+{
+    return static_cast<unsigned>(__builtin_ctzll(word));
+}
+
+} // namespace
+
 TokenRingCrossbar::TokenRingCrossbar(Simulator &sim,
                                      const MacrochipConfig &config)
     : Network(sim, config),
       hop_(geometry().ringHopDelay()),
       bundleLambdas_(config.rxPerSite),
-      ringPos_(config.siteCount()),
-      arbiters_(config.siteCount())
+      ringPos_(config.siteCount())
 {
+    const std::size_t sites = config.siteCount();
+    arbTokenPos_.assign(sites, 0);
+    arbTokenFree_.assign(sites, 0);
+    arbBusyTicks_.assign(sites, 0);
+    arbGrantEvent_.assign(sites, invalidEventId);
+    arbGrantIdx_.assign(sites, 0);
+    arbMasked_.assign(sites, 0);
+    downMask_.assign((sites + 63) / 64, 0);
+    waitingMask_.assign((sites + 63) / 64, 0);
+    arbWaiting_.resize(sites);
+    grantKernel_ = sim.events().registerBatchKernel(
+        "net.tring.grant", &TokenRingCrossbar::grantBatch, this);
+
     // Serpentine (boustrophedon) ring order so consecutive ring
     // positions are physically adjacent sites.
     for (SiteId s = 0; s < config.siteCount(); ++s) {
@@ -33,18 +57,31 @@ TokenRingCrossbar::registerStats(StatRegistry &registry,
     registry.add(prefix + ".grants", [this] {
         return static_cast<double>(grants_);
     });
+    // Whole-word popcounts over the flag masks: how many bundles are
+    // dead, and how many have senders queued, right now.
+    registry.add(prefix + ".down_channels", [this] {
+        std::uint64_t n = 0;
+        for (const std::uint64_t w : downMask_)
+            n += static_cast<std::uint64_t>(__builtin_popcountll(w));
+        return static_cast<double>(n);
+    });
+    registry.add(prefix + ".waiting_channels", [this] {
+        std::uint64_t n = 0;
+        for (const std::uint64_t w : waitingMask_)
+            n += static_cast<std::uint64_t>(__builtin_popcountll(w));
+        return static_cast<double>(n);
+    });
     // One bundle (== channel) per destination site: report each
     // bundle's occupancy (token hold time over wall time) so hot
     // destinations stand out in snapshots.
     for (SiteId d = 0; d < config().siteCount(); ++d) {
-        const Arbiter *arb = &arbiters_[d];
         registry.add(
             prefix + ".ch" + std::to_string(d) + ".occupancy",
-            [this, arb] {
+            [this, d] {
                 const Tick t = now();
                 return t == 0
                     ? 0.0
-                    : static_cast<double>(arb->busyTicks)
+                    : static_cast<double>(arbBusyTicks_[d])
                         / static_cast<double>(t);
             });
     }
@@ -59,12 +96,12 @@ TokenRingCrossbar::forwardHops(std::uint32_t from, std::uint32_t to)
 }
 
 Tick
-TokenRingCrossbar::tokenArrival(const Arbiter &arb, std::uint32_t pos,
+TokenRingCrossbar::tokenArrival(SiteId dst, std::uint32_t pos,
                                 Tick earliest) const
 {
     const Tick loop = tokenRoundTrip();
-    Tick arrival = arb.tokenFree
-        + static_cast<Tick>(forwardHops(arb.tokenPos, pos)) * hop_;
+    Tick arrival = arbTokenFree_[dst]
+        + static_cast<Tick>(forwardHops(arbTokenPos_[dst], pos)) * hop_;
     if (arrival < earliest) {
         const Tick behind = earliest - arrival;
         const Tick loops = (behind + loop - 1) / loop;
@@ -89,74 +126,131 @@ TokenRingCrossbar::applyLinkHealth(SiteId a, SiteId b,
 {
     if (a != b || a >= config().siteCount())
         return false;
-    Arbiter &arb = arbiters_[a];
-    arb.down = health.down;
+    setBit(downMask_, a, health.down);
     if (health.bandwidthFraction >= 1.0) {
-        arb.maskedLambdas = 0;
+        arbMasked_[a] = 0;
     } else {
         const auto masked = static_cast<std::uint32_t>(
             static_cast<double>(bundleLambdas_)
             * health.bandwidthFraction + 0.5);
-        arb.maskedLambdas = masked < 1 ? 1 : masked;
+        arbMasked_[a] = masked < 1 ? 1 : masked;
     }
     return true;
+}
+
+std::uint32_t
+TokenRingCrossbar::allocWaiter()
+{
+    for (std::size_t w = 0; w < wFree_.size(); ++w) {
+        if (wFree_[w] != 0) {
+            const unsigned bit = lowestSetBit(wFree_[w]);
+            wFree_[w] &= ~(std::uint64_t(1) << bit);
+            return static_cast<std::uint32_t>(w * 64 + bit);
+        }
+    }
+    // Grow the pool one 64-slot word at a time; claim the word's
+    // first slot.
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(wFree_.size() * 64);
+    wFree_.push_back(~std::uint64_t(1));
+    wMsg_.resize(wMsg_.size() + 64);
+    wReady_.resize(wReady_.size() + 64, 0);
+    wSrcPos_.resize(wSrcPos_.size() + 64, 0);
+    return base;
+}
+
+void
+TokenRingCrossbar::freeWaiter(std::uint32_t slot)
+{
+    wFree_[slot >> 6] |= std::uint64_t(1) << (slot & 63);
 }
 
 void
 TokenRingCrossbar::route(Message msg)
 {
-    Arbiter &arb = arbiters_[msg.dst];
-    if (arb.down) {
+    if (testBit(downMask_, msg.dst)) {
         dropPacket(std::move(msg), "destination bundle down");
         return;
     }
-    arb.waiting.push_back(Waiter{std::move(msg), now()});
-    armGrant(arb.waiting.back().msg.dst);
+    const SiteId dst = msg.dst;
+    const std::uint32_t slot = allocWaiter();
+    wSrcPos_[slot] = ringPos_[msg.src];
+    wReady_[slot] = now();
+    wMsg_[slot] = std::move(msg);
+    arbWaiting_[dst].push_back(slot);
+    setBit(waitingMask_, dst, true);
+    armGrant(dst);
 }
 
 void
 TokenRingCrossbar::armGrant(SiteId dst)
 {
-    Arbiter &arb = arbiters_[dst];
-    if (arb.waiting.empty())
+    const std::vector<std::uint32_t> &queue = arbWaiting_[dst];
+    if (queue.empty())
         return;
     // Recompute the earliest token passage among all waiters; a newly
     // arrived waiter may be reached by the token before the currently
-    // scheduled one.
-    if (arb.grantEvent != invalidEventId) {
-        sim().events().cancel(arb.grantEvent);
-        arb.grantEvent = invalidEventId;
+    // scheduled one. The scan walks the pool's flat ready/ring-
+    // position lanes in arrival order, so ties resolve exactly as the
+    // old per-arbiter deque did.
+    if (arbGrantEvent_[dst] != invalidEventId) {
+        sim().events().cancel(arbGrantEvent_[dst]);
+        arbGrantEvent_[dst] = invalidEventId;
     }
     Tick best = maxTick;
-    std::size_t best_idx = 0;
-    for (std::size_t i = 0; i < arb.waiting.size(); ++i) {
-        const Waiter &w = arb.waiting[i];
-        const Tick arrival = tokenArrival(arb, ringPos_[w.msg.src],
-                                          w.ready);
+    std::uint32_t best_idx = 0;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(queue.size()); ++i) {
+        const std::uint32_t slot = queue[i];
+        const Tick arrival =
+            tokenArrival(dst, wSrcPos_[slot], wReady_[slot]);
         if (arrival < best) {
             best = arrival;
             best_idx = i;
         }
     }
-    arb.grantEvent = sim().events().schedule(
+    arbGrantIdx_[dst] = best_idx;
+    if (batching()) {
+        arbGrantEvent_[dst] =
+            sim().events().scheduleBatch(best, grantKernel_, dst);
+        return;
+    }
+    arbGrantEvent_[dst] = sim().events().schedule(
         best, [this, dst, best_idx] { grant(dst, best_idx); },
         "net.tring.grant");
 }
 
 void
+TokenRingCrossbar::grantBatch(void *ctx, Tick when,
+                              const std::uint32_t *payloads,
+                              std::size_t count)
+{
+    (void)when;
+    auto *net = static_cast<TokenRingCrossbar *>(ctx);
+    for (std::size_t i = 0; i < count; ++i) {
+        const SiteId dst = payloads[i];
+        net->grant(dst, net->arbGrantIdx_[dst]);
+    }
+}
+
+void
 TokenRingCrossbar::grant(SiteId dst, std::size_t waiter_idx)
 {
-    Arbiter &arb = arbiters_[dst];
-    arb.grantEvent = invalidEventId;
-    if (waiter_idx >= arb.waiting.size())
+    std::vector<std::uint32_t> &queue = arbWaiting_[dst];
+    arbGrantEvent_[dst] = invalidEventId;
+    if (waiter_idx >= queue.size())
         panic("TokenRingCrossbar::grant: stale waiter index");
-    Waiter w = std::move(arb.waiting[waiter_idx]);
-    arb.waiting.erase(arb.waiting.begin()
-                      + static_cast<std::ptrdiff_t>(waiter_idx));
+    const std::uint32_t slot = queue[waiter_idx];
+    Message msg = std::move(wMsg_[slot]);
+    queue.erase(queue.begin()
+                + static_cast<std::ptrdiff_t>(waiter_idx));
+    freeWaiter(slot);
+    if (queue.empty())
+        setBit(waitingMask_, dst, false);
 
-    if (arb.down) {
+    if (testBit(downMask_, dst)) {
         // The bundle failed while this waiter held a grant slot.
-        dropPacket(std::move(w.msg), "destination bundle down");
+        dropPacket(std::move(msg), "destination bundle down");
         armGrant(dst);
         return;
     }
@@ -164,24 +258,24 @@ TokenRingCrossbar::grant(SiteId dst, std::size_t waiter_idx)
     // The sender holds the token while it streams the packet onto
     // the destination's bundle, then re-injects it at its own ring
     // position. Masked (degraded) wavelengths stretch the hold.
-    const std::uint32_t src_pos = ringPos_[w.msg.src];
-    const std::uint32_t width = arb.maskedLambdas
-        ? arb.maskedLambdas : bundleLambdas_;
+    const std::uint32_t src_pos = ringPos_[msg.src];
+    const std::uint32_t width = arbMasked_[dst]
+        ? arbMasked_[dst] : bundleLambdas_;
     const Tick hold = OpticalChannel(width, 0)
-        .serialization(w.msg.bytes);
+        .serialization(msg.bytes);
     const Tick hold_end = now() + hold;
-    arb.tokenPos = src_pos;
-    arb.tokenFree = hold_end;
-    arb.busyTicks += hold;
+    arbTokenPos_[dst] = src_pos;
+    arbTokenFree_[dst] = hold_end;
+    arbBusyTicks_[dst] += hold;
     ++grants_;
-    w.msg.serialization = hold;
+    msg.serialization = hold;
 
     // Data flows forward along the serpentine bundle to the
     // destination site.
     const Tick data_prop =
         static_cast<Tick>(forwardHops(src_pos, ringPos_[dst])) * hop_;
-    chargeOpticalHop(w.msg);
-    deliverAt(std::move(w.msg), hold_end + data_prop);
+    chargeOpticalHop(msg);
+    deliverAt(std::move(msg), hold_end + data_prop);
 
     armGrant(dst);
 }

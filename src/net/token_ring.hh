@@ -23,7 +23,7 @@
 #ifndef MACROSIM_NET_TOKEN_RING_HH
 #define MACROSIM_NET_TOKEN_RING_HH
 
-#include <deque>
+#include <cstdint>
 #include <vector>
 
 #include "net/channel.hh"
@@ -85,32 +85,13 @@ class TokenRingCrossbar : public Network
     void route(Message msg) override;
 
   private:
-    struct Waiter
-    {
-        Message msg;
-        Tick ready; ///< Earliest time this sender can take the token.
-    };
-
-    /** Per-destination token state and pending senders. */
-    struct Arbiter
-    {
-        std::uint32_t tokenPos = 0; ///< Ring index of last holder.
-        Tick tokenFree = 0;         ///< When the token departed it.
-        Tick busyTicks = 0;         ///< Cumulative token hold time.
-        std::deque<Waiter> waiting;
-        EventId grantEvent = invalidEventId;
-        bool down = false;          ///< Bundle carries no traffic.
-        /** Masked bundle width; 0 means the full engineered width. */
-        std::uint32_t maskedLambdas = 0;
-    };
-
     /** Forward ring distance, in hops, from index @p from to @p to;
      *  a full loop (ringSize) when from == to. */
     std::uint32_t forwardHops(std::uint32_t from, std::uint32_t to) const;
 
-    /** First time the token passes ring index @p pos at or after
-     *  @p earliest, given the arbiter's token state. */
-    Tick tokenArrival(const Arbiter &arb, std::uint32_t pos,
+    /** First time destination @p dst's token passes ring index
+     *  @p pos at or after @p earliest. */
+    Tick tokenArrival(SiteId dst, std::uint32_t pos,
                       Tick earliest) const;
 
     /** (Re)schedule the next grant for destination @p dst. */
@@ -119,11 +100,69 @@ class TokenRingCrossbar : public Network
     /** Fire the grant chosen by armGrant(). */
     void grant(SiteId dst, std::size_t waiter_idx);
 
+    /** Batch kernel draining a tick's worth of grant events; each
+     *  payload is a destination site whose armed grant fires. */
+    static void grantBatch(void *ctx, Tick when,
+                           const std::uint32_t *payloads,
+                           std::size_t count);
+
+    /** Claim a waiter-pool slot (ctz over the free-mask words),
+     *  growing the pool a word at a time. */
+    std::uint32_t allocWaiter();
+    void freeWaiter(std::uint32_t slot);
+
+    /** Bit helpers over the per-destination flag words. */
+    static bool
+    testBit(const std::vector<std::uint64_t> &words, std::uint32_t i)
+    {
+        return (words[i >> 6] >> (i & 63)) & 1u;
+    }
+    static void
+    setBit(std::vector<std::uint64_t> &words, std::uint32_t i, bool on)
+    {
+        if (on)
+            words[i >> 6] |= std::uint64_t(1) << (i & 63);
+        else
+            words[i >> 6] &= ~(std::uint64_t(1) << (i & 63));
+    }
+
     Tick hop_;              ///< Token/data propagation per ring hop.
     std::uint32_t bundleLambdas_;
     std::uint64_t grants_ = 0;
     std::vector<std::uint32_t> ringPos_;  ///< site -> ring index
-    std::vector<Arbiter> arbiters_;       ///< one per destination
+
+    /** Per-destination arbiter state as parallel arrays (index =
+     *  destination site). The grant-scan and the batched grant kernel
+     *  read one field across many destinations, so
+     *  structure-of-arrays keeps those passes dense. */
+    std::vector<std::uint32_t> arbTokenPos_; ///< Ring idx, last holder.
+    std::vector<Tick> arbTokenFree_;    ///< When the token departed.
+    std::vector<Tick> arbBusyTicks_;    ///< Cumulative token hold.
+    std::vector<EventId> arbGrantEvent_;
+    /** Index (within arbWaiting_[dst]) the armed grant will take. */
+    std::vector<std::uint32_t> arbGrantIdx_;
+    /** Masked bundle width; 0 means the full engineered width. */
+    std::vector<std::uint32_t> arbMasked_;
+
+    /** Dead-bundle and has-waiters flags packed into 64-bit words
+     *  (bit = destination): route()/grant() test single bits, and
+     *  summary stats reduce whole words instead of branching per
+     *  destination. */
+    std::vector<std::uint64_t> downMask_;
+    std::vector<std::uint64_t> waitingMask_;
+
+    /** Waiter pool as parallel arrays; free slots are set bits in
+     *  wFree_, claimed with ctz. The per-destination queues hold pool
+     *  indices in arrival order, so the grant scan walks flat
+     *  ready/ring-position lanes while tie-breaking stays exactly
+     *  the old deque's insertion order. */
+    std::vector<Message> wMsg_;
+    std::vector<Tick> wReady_;
+    std::vector<std::uint32_t> wSrcPos_;
+    std::vector<std::uint64_t> wFree_;
+    std::vector<std::vector<std::uint32_t>> arbWaiting_;
+
+    std::uint16_t grantKernel_ = 0;
 };
 
 } // namespace macrosim

@@ -25,8 +25,15 @@ TwoPhaseArbitratedNetwork::TwoPhaseArbitratedNetwork(
     notifSer_ = OpticalChannel(1, 0)
         .serialization(params.notificationBytes);
 
-    channels_.resize(static_cast<std::size_t>(config.rows)
-                     * config.siteCount());
+    const std::size_t n_channels =
+        static_cast<std::size_t>(config.rows) * config.siteCount();
+    chBusyUntil_.assign(n_channels, 0);
+    chBusyTicks_.assign(n_channels, 0);
+    chLastSender_.assign(n_channels, ~SiteId(0));
+    chDown_.assign(n_channels, 0);
+    chMasked_.assign(n_channels, 0);
+    slotKernel_ = sim.events().registerBatchKernel(
+        "net.2phase.slot", &TwoPhaseArbitratedNetwork::slotBatch, this);
     const std::size_t instances = alt_ ? 2 : 1;
     trees_.resize(static_cast<std::size_t>(config.siteCount())
                   * config.cols * instances);
@@ -46,13 +53,13 @@ TwoPhaseArbitratedNetwork::registerStats(StatRegistry &registry,
     });
     registry.add(prefix + ".occupancy", [this] {
         const Tick t = now();
-        if (t == 0 || channels_.empty())
+        if (t == 0 || chBusyTicks_.empty())
             return 0.0;
         double busy = 0.0;
-        for (const DataChannel &ch : channels_)
-            busy += static_cast<double>(ch.line.busyTicks());
+        for (const Tick ticks : chBusyTicks_)
+            busy += static_cast<double>(ticks);
         return busy / static_cast<double>(t)
-            / static_cast<double>(channels_.size());
+            / static_cast<double>(chBusyTicks_.size());
     });
     registry.add(prefix + ".notif_occupancy", [this] {
         const Tick t = now();
@@ -84,16 +91,16 @@ TwoPhaseArbitratedNetwork::applyLinkHealth(SiteId a, SiteId b,
 {
     if (a >= config().rows || b >= config().siteCount())
         return false;
-    DataChannel &ch = channels_[static_cast<std::size_t>(a)
-                                * config().siteCount() + b];
-    ch.down = health.down;
+    const std::size_t ci =
+        static_cast<std::size_t>(a) * config().siteCount() + b;
+    chDown_[ci] = health.down ? 1 : 0;
     if (health.bandwidthFraction >= 1.0) {
-        ch.maskedLambdas = 0;
+        chMasked_[ci] = 0;
     } else {
         const auto masked = static_cast<std::uint32_t>(
             static_cast<double>(channelLambdas_)
             * health.bandwidthFraction + 0.5);
-        ch.maskedLambdas = masked < 1 ? 1 : masked;
+        chMasked_[ci] = masked < 1 ? 1 : masked;
     }
     return true;
 }
@@ -114,15 +121,12 @@ TwoPhaseArbitratedNetwork::arbitrate(Message msg, Tick post_time)
     // the next free data slot on the shared channel (requests are
     // pipelined, so slots are committed immediately and in request
     // order).
-    {
-        // A dead shared channel cannot be granted at all; fail the
-        // packet into the drop/retry path before arbitration.
-        const DataChannel &probe_ch =
-            channels_[channelIndex(msg.src, msg.dst)];
-        if (probe_ch.down) {
-            dropPacket(std::move(msg), "shared data channel down");
-            return;
-        }
+    // A dead shared channel cannot be granted at all; fail the
+    // packet into the drop/retry path before arbitration.
+    const std::size_t ci = channelIndex(msg.src, msg.dst);
+    if (chDown_[ci]) {
+        dropPacket(std::move(msg), "shared data channel down");
+        return;
     }
 
     const Tick slot_aligned = post_time % arbSlot_ == 0
@@ -156,19 +160,39 @@ TwoPhaseArbitratedNetwork::arbitrate(Message msg, Tick post_time)
     // input-select switch settle before the data slot begins.
     const Tick earliest_data = notif_done + colProp_ + switchSetup_;
 
-    DataChannel &ch = channels_[channelIndex(msg.src, msg.dst)];
     const OpticalChannel probe(
-        ch.maskedLambdas ? ch.maskedLambdas : channelLambdas_, 0);
+        chMasked_[ci] ? chMasked_[ci] : channelLambdas_, 0);
     const Tick ser = probe.serialization(msg.bytes);
-    const bool sender_change = ch.lastSender != msg.src;
-    ch.lastSender = msg.src;
+    const bool sender_change = chLastSender_[ci] != msg.src;
+    chLastSender_[ci] = msg.src;
     const Tick guard = sender_change ? senderGuard_ : 0;
-    const Tick slot_start =
-        ch.line.reserve(earliest_data, ser + guard) + guard;
+    // BusyResource::reserve over the SoA lanes: commit the slot on
+    // the channel's busy-until line and charge its occupancy.
+    const Tick line_start = earliest_data > chBusyUntil_[ci]
+        ? earliest_data : chBusyUntil_[ci];
+    chBusyUntil_[ci] = line_start + ser + guard;
+    chBusyTicks_[ci] += ser + guard;
+    const Tick slot_start = line_start + guard;
 
     // Both arbitration messages are 8 B optical control transfers.
     energy().countOpticalTransfer(2 * controlMessageBytes);
 
+    if (batching()) {
+        std::uint32_t idx;
+        if (!slotFree_.empty()) {
+            idx = slotFree_.back();
+            slotFree_.pop_back();
+        } else {
+            idx = static_cast<std::uint32_t>(pendingSlots_.size());
+            pendingSlots_.emplace_back();
+        }
+        PendingSlot &p = pendingSlots_[idx];
+        p.msg = std::move(msg);
+        p.slotStart = slot_start;
+        p.ser = ser;
+        sim().events().scheduleBatch(slot_start, slotKernel_, idx);
+        return;
+    }
     sim().events().schedule(slot_start,
                             [this, msg = std::move(msg), slot_start,
                              ser]() mutable {
@@ -176,6 +200,23 @@ TwoPhaseArbitratedNetwork::arbitrate(Message msg, Tick post_time)
                                              ser);
                             },
                             "net.2phase.slot");
+}
+
+void
+TwoPhaseArbitratedNetwork::slotBatch(void *ctx, Tick when,
+                                     const std::uint32_t *payloads,
+                                     std::size_t count)
+{
+    (void)when;
+    auto *net = static_cast<TwoPhaseArbitratedNetwork *>(ctx);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint32_t idx = payloads[i];
+        // Move out and recycle first: transmitSlot may re-arbitrate,
+        // which claims a pool entry for the rescheduled slot.
+        PendingSlot rec = std::move(net->pendingSlots_[idx]);
+        net->slotFree_.push_back(idx);
+        net->transmitSlot(std::move(rec.msg), rec.slotStart, rec.ser);
+    }
 }
 
 BusyResource *

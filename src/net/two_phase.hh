@@ -123,13 +123,13 @@ class TwoPhaseArbitratedNetwork : public Network
     void route(Message msg) override;
 
   private:
-    struct DataChannel
+    /** A granted data slot waiting for its start tick; pooled so the
+     *  batched slot kernel's payload is just an index. */
+    struct PendingSlot
     {
-        BusyResource line;
-        SiteId lastSender = ~SiteId(0);
-        bool down = false;          ///< Shared channel unusable.
-        /** Masked channel width; 0 means the full width. */
-        std::uint32_t maskedLambdas = 0;
+        Message msg;
+        Tick slotStart = 0;
+        Tick ser = 0;
     };
 
     /** Index of the shared channel (row of src, destination). */
@@ -146,6 +146,12 @@ class TwoPhaseArbitratedNetwork : public Network
     /** Attempt the granted transmission; re-arbitrate on collision. */
     void transmitSlot(Message msg, Tick slot_start, Tick ser);
 
+    /** Batch kernel draining a tick's worth of granted slots;
+     *  payloads index pendingSlots_. */
+    static void slotBatch(void *ctx, Tick when,
+                          const std::uint32_t *payloads,
+                          std::size_t count);
+
     /** Switch trees for (site, column); alt has two per pair. */
     BusyResource *treeFor(SiteId site, std::uint32_t col,
                           Tick slot_start, Tick slot_end);
@@ -160,7 +166,25 @@ class TwoPhaseArbitratedNetwork : public Network
     Tick senderGuard_;   ///< Channel dead time on sender change.
     std::uint64_t wastedSlots_ = 0;
 
-    std::vector<DataChannel> channels_;      // rows x sites
+    /** Shared-channel state (rows x sites, index channelIndex()) as
+     *  parallel arrays: the per-message slot commit and the per-dump
+     *  occupancy scan each touch exactly one field across all 512
+     *  channels, so structure-of-arrays keeps those passes on dense,
+     *  vectorizable lanes instead of striding through records. The
+     *  busy-until/busy-ticks pair follows BusyResource::reserve()
+     *  semantics exactly. */
+    std::vector<Tick> chBusyUntil_;
+    std::vector<Tick> chBusyTicks_;
+    std::vector<SiteId> chLastSender_;
+    std::vector<std::uint8_t> chDown_;       ///< Channel unusable.
+    /** Masked channel width; 0 means the full width. */
+    std::vector<std::uint32_t> chMasked_;
+
+    /** Granted-slot pool + free list for the batched slot path. */
+    std::vector<PendingSlot> pendingSlots_;
+    std::vector<std::uint32_t> slotFree_;
+    std::uint16_t slotKernel_ = 0;
+
     std::vector<BusyResource> trees_;        // site x col x instances
     /** Column managers' notification wavelengths: one per
      *  (arbitration domain row, destination column) in the base

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Differential tests for the batched tick-execution path: every
+ * subsystem that registers a batch kernel (network delivery,
+ * two-phase slot starts, token-ring grants, fault injection) must
+ * produce bit-identical results with batching on and off, because
+ * the batch drain preserves the scalar path's execution order
+ * exactly. Fuzzed degradation states pin the flat fault-margin
+ * kernel against the scalar object-path arithmetic, and the
+ * EventQueue's same-tick burst histogram is checked directly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "fault/injector.hh"
+#include "harness.hh"
+#include "sim/event.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "workloads/packet_injector.hh"
+
+namespace
+{
+
+using namespace macrosim;
+using namespace macrosim::bench;
+
+/** Restore the process-wide dispatch default on scope exit. */
+class BatchDefaultGuard
+{
+  public:
+    explicit BatchDefaultGuard(bool on)
+        : saved_(batchDispatchDefault())
+    {
+        setBatchDispatchDefault(on);
+    }
+    ~BatchDefaultGuard() { setBatchDispatchDefault(saved_); }
+
+  private:
+    bool saved_;
+};
+
+void
+expectIdentical(const InjectorResult &a, const InjectorResult &b)
+{
+    // Exact double equality, not tolerances: the batched drain must
+    // replay the scalar event order, so every accumulator stream is
+    // the same stream.
+    EXPECT_EQ(a.offeredLoadPct, b.offeredLoadPct);
+    EXPECT_EQ(a.meanLatencyNs, b.meanLatencyNs);
+    EXPECT_EQ(a.maxLatencyNs, b.maxLatencyNs);
+    EXPECT_EQ(a.p50LatencyNs, b.p50LatencyNs);
+    EXPECT_EQ(a.p99LatencyNs, b.p99LatencyNs);
+    EXPECT_EQ(a.deliveredBytesPerNsPerSite,
+              b.deliveredBytesPerNsPerSite);
+    EXPECT_EQ(a.deliveredPct, b.deliveredPct);
+    EXPECT_EQ(a.measuredPackets, b.measuredPackets);
+    EXPECT_EQ(a.overflowPackets, b.overflowPackets);
+    EXPECT_EQ(a.offeredMeasuredPct, b.offeredMeasuredPct);
+}
+
+InjectorResult
+runCell(NetId id, TrafficPattern pattern, double load, bool batched,
+        const std::vector<std::pair<SiteId, SiteId>> &degraded = {},
+        const std::vector<std::pair<SiteId, SiteId>> &dead = {})
+{
+    BatchDefaultGuard guard(batched);
+    Simulator sim(17);
+    auto net = makeNetwork(id, sim, simulatedConfig());
+    EXPECT_EQ(net->batching(), batched);
+    // Dead channels drop packets instead of dying: bounded retry,
+    // identical in both dispatch modes.
+    RetryPolicy retry;
+    retry.backoffBase = 16;
+    retry.maxAttempts = 3;
+    net->setRetryPolicy(retry);
+    LinkHealth derated;
+    derated.bandwidthFraction = 0.5;
+    for (const auto &[a, b] : degraded)
+        net->applyLinkHealth(a, b, derated);
+    LinkHealth down;
+    down.down = true;
+    for (const auto &[a, b] : dead)
+        net->applyLinkHealth(a, b, down);
+
+    InjectorConfig cfg;
+    cfg.pattern = pattern;
+    cfg.load = load;
+    cfg.warmup = 200 * tickNs;
+    cfg.window = 800 * tickNs;
+    cfg.seed = 17;
+    return runOpenLoop(sim, *net, cfg);
+}
+
+/** The networks with batch kernels in their per-tick inner loops. */
+const NetId batchedNets[] = {NetId::TokenRing, NetId::TwoPhase,
+                             NetId::PointToPoint, NetId::TwoPhaseAlt};
+
+TEST(BatchDifferential, InjectorCellsMatchScalar)
+{
+    setQuiet(true);
+    for (const NetId id : batchedNets) {
+        for (const TrafficPattern pattern :
+             {TrafficPattern::Uniform, TrafficPattern::Transpose}) {
+            const InjectorResult scalar =
+                runCell(id, pattern, 0.05, false);
+            const InjectorResult batched =
+                runCell(id, pattern, 0.05, true);
+            SCOPED_TRACE(netName(id) + " / "
+                         + std::string(to_string(pattern)));
+            expectIdentical(scalar, batched);
+        }
+    }
+}
+
+TEST(BatchDifferential, DeadAndMaskedChannelsMatchScalar)
+{
+    setQuiet(true);
+    for (const NetId id : {NetId::TokenRing, NetId::TwoPhase}) {
+        Simulator probe;
+        const auto links =
+            makeNetwork(id, probe, simulatedConfig())->faultableLinks();
+        ASSERT_FALSE(links.empty());
+        // Mask a third of the channels to half width, kill another
+        // third — the arbitration loops must take the degraded and
+        // dead branches identically in both modes.
+        std::vector<std::pair<SiteId, SiteId>> degraded, dead;
+        for (std::size_t i = 0; i < links.size(); ++i) {
+            if (i % 3 == 1)
+                degraded.push_back(links[i]);
+            else if (i % 3 == 2)
+                dead.push_back(links[i]);
+        }
+        const InjectorResult scalar =
+            runCell(id, TrafficPattern::Uniform, 0.1, false,
+                    degraded, dead);
+        const InjectorResult batched =
+            runCell(id, TrafficPattern::Uniform, 0.1, true,
+                    degraded, dead);
+        SCOPED_TRACE(netName(id));
+        expectIdentical(scalar, batched);
+    }
+}
+
+TEST(BatchDifferential, SingleLiveChannelExtreme)
+{
+    setQuiet(true);
+    // Kill every bundle except one: the grant scan and slot
+    // evaluation collapse to the 1-of-N extreme while drops dominate.
+    for (const NetId id : {NetId::TokenRing, NetId::TwoPhase}) {
+        Simulator probe;
+        const auto links =
+            makeNetwork(id, probe, simulatedConfig())->faultableLinks();
+        std::vector<std::pair<SiteId, SiteId>> dead(links.begin() + 1,
+                                                    links.end());
+        const InjectorResult scalar =
+            runCell(id, TrafficPattern::Uniform, 0.05, false, {},
+                    dead);
+        const InjectorResult batched =
+            runCell(id, TrafficPattern::Uniform, 0.05, true, {},
+                    dead);
+        SCOPED_TRACE(netName(id));
+        expectIdentical(scalar, batched);
+    }
+}
+
+TEST(BatchDifferential, Fig6RowsAreByteIdentical)
+{
+    setQuiet(true);
+    // The figure benches print rows with fixed printf formats; pin
+    // the formatted text, not just the doubles, per figure 6's CSV.
+    for (const NetId id : batchedNets) {
+        std::string rows[2];
+        for (const bool batched : {false, true}) {
+            const InjectorResult r = runCell(
+                id, TrafficPattern::Uniform, 0.08, batched);
+            char row[160];
+            std::snprintf(row, sizeof(row),
+                          "uniform,%s,%.4f,%.3f,%.3f,%.4f\n",
+                          netName(id).c_str(), r.offeredLoadPct,
+                          r.meanLatencyNs, r.p99LatencyNs,
+                          r.deliveredPct);
+            rows[batched ? 1 : 0] = row;
+        }
+        EXPECT_EQ(rows[0], rows[1]) << netName(id);
+    }
+}
+
+TEST(BatchDifferential, Table5PowerUnaffectedByDispatchMode)
+{
+    setQuiet(true);
+    for (const NetId id : batchedNets) {
+        std::string rows[2];
+        for (const bool batched : {false, true}) {
+            BatchDefaultGuard guard(batched);
+            Simulator sim;
+            const auto net = makeNetwork(id, sim, simulatedConfig());
+            char row[96];
+            std::snprintf(row, sizeof(row), "%s,%.6f,%.6f\n",
+                          netName(id).c_str(), net->laserWatts(),
+                          net->staticWatts());
+            rows[batched ? 1 : 0] = row;
+        }
+        EXPECT_EQ(rows[0], rows[1]) << netName(id);
+    }
+}
+
+TEST(BatchDifferential, PdesResultsIdenticalAcrossLpCounts)
+{
+    setQuiet(true);
+    // Batching stays on (the default); the keyed PDES ordering
+    // contract must hold with the batch drain active inside each LP.
+    InjectorConfig cfg;
+    cfg.pattern = TrafficPattern::Uniform;
+    cfg.load = 0.05;
+    cfg.warmup = 200 * tickNs;
+    cfg.window = 600 * tickNs;
+    cfg.seed = 23;
+    const auto factory = [](Simulator &sim) {
+        return makeNetwork(NetId::TwoPhase, sim, simulatedConfig());
+    };
+    const PdesInjectorResult one =
+        runOpenLoopPdes(factory, cfg, /*lps=*/1, /*threads=*/1);
+    const PdesInjectorResult four =
+        runOpenLoopPdes(factory, cfg, /*lps=*/4, /*threads=*/2);
+    EXPECT_GE(four.effectiveLps, 1u);
+    expectIdentical(one.result, four.result);
+}
+
+/** Apply one fuzzed event stream to a scalar and a flat injector. */
+TEST(FaultMarginDifferential, FuzzedStatesMatchScalarExactly)
+{
+    setQuiet(true);
+    Simulator simA, simB;
+    auto netA =
+        makeNetwork(NetId::PointToPoint, simA, simulatedConfig());
+    auto netB =
+        makeNetwork(NetId::PointToPoint, simB, simulatedConfig());
+    FaultInjector scalar(simA, *netA, FaultSchedule{});
+    FaultInjector flat(simB, *netB, FaultSchedule{});
+    scalar.setBatching(false);
+    flat.setBatching(true);
+    ASSERT_GT(scalar.trackedLinks(), 0u);
+    ASSERT_EQ(scalar.trackedLinks(), flat.trackedLinks());
+
+    const auto links = netA->faultableLinks();
+    std::mt19937_64 rng(1234);
+    std::uniform_real_distribution<double> mag(0.05, 6.0);
+    const FaultKind kinds[] = {
+        FaultKind::LaserDroop,   FaultKind::RingDrift,
+        FaultKind::WaveguideCreep, FaultKind::ReceiverDegrade,
+        FaultKind::ChannelKill,  FaultKind::Repair,
+    };
+
+    for (int step = 0; step < 400; ++step) {
+        const auto &[a, b] = links[rng() % links.size()];
+        FaultEvent ev;
+        ev.kind = kinds[rng() % std::size(kinds)];
+        ev.target = FaultTarget::channel(a, b);
+        ev.magnitudeDb = mag(rng);
+        scalar.apply(ev);
+        flat.apply(ev);
+        // The flat kernel's fold order replicates the object path's,
+        // so the margins agree to the last bit, not a tolerance.
+        EXPECT_EQ(scalar.marginDbOf(ev.target),
+                  flat.marginDbOf(ev.target))
+            << "step " << step;
+    }
+
+    for (const auto &[a, b] : links) {
+        EXPECT_EQ(scalar.marginDbOf(FaultTarget::channel(a, b)),
+                  flat.marginDbOf(FaultTarget::channel(a, b)));
+    }
+    EXPECT_EQ(scalar.sweepMargins(), flat.sweepMargins());
+    EXPECT_EQ(scalar.injectedFaults(), flat.injectedFaults());
+    EXPECT_EQ(scalar.repairs(), flat.repairs());
+    EXPECT_EQ(scalar.linksDown(), flat.linksDown());
+    EXPECT_EQ(scalar.linksDerated(), flat.linksDerated());
+    EXPECT_EQ(scalar.minMarginDb(), flat.minMarginDb());
+}
+
+TEST(FaultMarginDifferential, KillAndRepairExtremes)
+{
+    setQuiet(true);
+    Simulator simA, simB;
+    auto netA = makeNetwork(NetId::TokenRing, simA, simulatedConfig());
+    auto netB = makeNetwork(NetId::TokenRing, simB, simulatedConfig());
+    FaultInjector scalar(simA, *netA, FaultSchedule{});
+    FaultInjector flat(simB, *netB, FaultSchedule{});
+    scalar.setBatching(false);
+    flat.setBatching(true);
+
+    const auto links = netA->faultableLinks();
+    // Kill every channel, then repair every channel: both modes walk
+    // the same down/derated counter transitions.
+    for (const auto &[a, b] : links) {
+        FaultEvent kill;
+        kill.kind = FaultKind::ChannelKill;
+        kill.target = FaultTarget::channel(a, b);
+        scalar.apply(kill);
+        flat.apply(kill);
+    }
+    EXPECT_EQ(scalar.linksDown(), links.size());
+    EXPECT_EQ(flat.linksDown(), links.size());
+    EXPECT_EQ(scalar.sweepMargins(), flat.sweepMargins());
+    for (const auto &[a, b] : links) {
+        FaultEvent repair;
+        repair.kind = FaultKind::Repair;
+        repair.target = FaultTarget::channel(a, b);
+        scalar.apply(repair);
+        flat.apply(repair);
+    }
+    EXPECT_EQ(scalar.linksDown(), 0u);
+    EXPECT_EQ(flat.linksDown(), 0u);
+    EXPECT_EQ(scalar.sweepMargins(), flat.sweepMargins());
+    EXPECT_EQ(scalar.minMarginDb(), flat.minMarginDb());
+}
+
+TEST(BatchQueue, KernelRunsCoalesceAndPreserveOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    struct Ctx
+    {
+        std::vector<int> *order;
+    } ctx{&order};
+    const std::uint16_t k = q.registerBatchKernel(
+        "test.batch",
+        [](void *c, Tick, const std::uint32_t *payloads,
+           std::size_t n) {
+            for (std::size_t i = 0; i < n; ++i)
+                static_cast<Ctx *>(c)->order->push_back(
+                    static_cast<int>(payloads[i]));
+        },
+        &ctx);
+
+    // Interleave plain callbacks with batch events at one tick; the
+    // callback splits the tick's batch into two runs, in seq order.
+    q.scheduleBatch(10, k, 1);
+    q.scheduleBatch(10, k, 2);
+    q.schedule(10, [&order] { order.push_back(-1); }, "test.plain");
+    q.scheduleBatch(10, k, 3);
+    q.scheduleBatch(20, k, 4);
+    while (q.runOne()) {}
+
+    ASSERT_EQ(order.size(), 5u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, -1, 3, 4}));
+    EXPECT_EQ(q.stats().batchEvents, 4u);
+    EXPECT_EQ(q.stats().batchRuns, 3u);
+}
+
+TEST(BatchQueue, CancelledBatchEventsAreSkipped)
+{
+    EventQueue q;
+    std::vector<std::uint32_t> got;
+    struct Ctx
+    {
+        std::vector<std::uint32_t> *got;
+    } ctx{&got};
+    const std::uint16_t k = q.registerBatchKernel(
+        "test.cancel",
+        [](void *c, Tick, const std::uint32_t *payloads,
+           std::size_t n) {
+            for (std::size_t i = 0; i < n; ++i)
+                static_cast<Ctx *>(c)->got->push_back(payloads[i]);
+        },
+        &ctx);
+
+    q.scheduleBatch(5, k, 10);
+    const EventId victim = q.scheduleBatch(5, k, 11);
+    q.scheduleBatch(5, k, 12);
+    EXPECT_TRUE(q.cancel(victim));
+    EXPECT_FALSE(q.cancel(victim));
+    while (q.runOne()) {}
+    EXPECT_EQ(got, (std::vector<std::uint32_t>{10, 12}));
+}
+
+TEST(BatchQueue, BurstHistogramBucketsByPowerOfTwo)
+{
+    EventQueue q;
+    int fired = 0;
+    // Tick 1: burst of 1. Tick 2: burst of 3 (bucket [2,4)).
+    // Tick 3: burst of 8 (bucket [8,16)).
+    q.schedule(1, [&fired] { ++fired; }, "t");
+    for (int i = 0; i < 3; ++i)
+        q.schedule(2, [&fired] { ++fired; }, "t");
+    for (int i = 0; i < 8; ++i)
+        q.schedule(3, [&fired] { ++fired; }, "t");
+    while (q.runOne()) {}
+    EXPECT_EQ(fired, 12);
+    // The final tick stays buffered until the flush.
+    q.flushTickObserver();
+
+    const EventQueueStats &s = q.stats();
+    EXPECT_EQ(s.burstHist[0], 1u); // [1, 2)
+    EXPECT_EQ(s.burstHist[1], 1u); // [2, 4)
+    EXPECT_EQ(s.burstHist[2], 0u); // [4, 8)
+    EXPECT_EQ(s.burstHist[3], 1u); // [8, 16)
+    EXPECT_EQ(s.maxSameTickBurst, 8u);
+}
+
+} // namespace
